@@ -1,0 +1,117 @@
+package vinfra_test
+
+// One benchmark per experiment table (DESIGN.md §4). Each benchmark both
+// measures the wall-clock cost of regenerating the table and reports the
+// headline quantity of its experiment as custom benchmark metrics, so
+// `go test -bench=. -benchmem` reproduces every figure of the evaluation.
+
+import (
+	"testing"
+
+	"vinfra/internal/experiments"
+	"vinfra/internal/sim"
+)
+
+func BenchmarkE1Figure2(b *testing.B) {
+	matches := 0
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFigure2()
+		matches = 0
+		for j, r := range rows {
+			if r == experiments.Figure2Expected[j] {
+				matches++
+			}
+		}
+	}
+	b.ReportMetric(float64(matches), "rows-matching-paper")
+}
+
+func BenchmarkE2OverheadVsN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.OverheadVsN([]int{2, 8, 32}, 25)
+	}
+}
+
+func BenchmarkE2OverheadVsLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.OverheadVsLength([]int{16, 128})
+	}
+}
+
+func BenchmarkE2RoundsUnderLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RoundsUnderLoss(4, []float64{0, 0.3}, 50)
+	}
+}
+
+func BenchmarkE3ColorSpread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ColorSpread(5, []float64{0, 0.5}, 60)
+	}
+}
+
+func BenchmarkE4Correctness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CorrectnessCampaign(6, []sim.Round{30, 90}, 25)
+	}
+}
+
+func BenchmarkE5EmulationOverheadDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.EmulationOverheadVsDensity(8)
+	}
+}
+
+func BenchmarkE5EmulationOverheadReplicas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.EmulationOverheadVsReplicas([]int{1, 4}, 8)
+	}
+}
+
+func BenchmarkE6Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ChurnSurvival([]int{4}, 24)
+	}
+}
+
+func BenchmarkE7BaselineVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.BaselineVIComparison([]int{3, 15}, 6)
+	}
+}
+
+func BenchmarkE7StateTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.StateTransferCost([]int{0, 16, 64})
+	}
+}
+
+func BenchmarkE8DetectorAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.DetectorAblation(40)
+	}
+}
+
+func BenchmarkE8CMAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CMAblation(80)
+	}
+}
+
+func BenchmarkE8Checkpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CheckpointAblation([]int{50, 200})
+	}
+}
+
+func BenchmarkE9RoutingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RoutingLatency([]int{2, 4}, 2)
+	}
+}
+
+func BenchmarkE9LockThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.LockThroughput([]int{2, 4}, 40)
+	}
+}

@@ -1,0 +1,119 @@
+// Command chabench regenerates every table of the reproduction experiment
+// suite (E1–E8 in DESIGN.md): the paper's Figure 2, the constant-overhead
+// claims of Theorem 14, the Property 4 color invariant, the correctness
+// theorems, the Section 4 emulation overhead and churn behaviour, the
+// Section 1.5 baseline comparisons, and the ablations.
+//
+// Usage:
+//
+//	chabench              # full suite
+//	chabench -quick       # smaller parameter sweeps
+//	chabench -only E2     # a single experiment (E1..E8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vinfra/internal/experiments"
+	"vinfra/internal/metrics"
+	"vinfra/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	flag.Parse()
+
+	type experiment struct {
+		id     string
+		tables func() []*metrics.Table
+	}
+	sweep := func(full, quickVal []int) []int {
+		if *quick {
+			return quickVal
+		}
+		return full
+	}
+	instances := 200
+	vrounds := 40
+	if *quick {
+		instances = 50
+		vrounds = 10
+	}
+
+	suite := []experiment{
+		{"E1", func() []*metrics.Table {
+			return []*metrics.Table{experiments.Figure2Table()}
+		}},
+		{"E2", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.OverheadVsN(sweep([]int{2, 4, 8, 16, 32, 64}, []int{2, 8, 32}), instances/4),
+				experiments.OverheadVsLength(sweep([]int{16, 64, 256, 1024}, []int{16, 128})),
+				experiments.RoundsUnderLoss(4, []float64{0, 0.1, 0.3, 0.5}, instances),
+			}
+		}},
+		{"E3", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.ColorSpread(5, []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}, instances),
+			}
+		}},
+		{"E4", func() []*metrics.Table {
+			seeds := 30
+			if *quick {
+				seeds = 8
+			}
+			return []*metrics.Table{
+				experiments.CorrectnessCampaign(seeds, []sim.Round{30, 90, 180}, instances/4),
+			}
+		}},
+		{"E5", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.EmulationOverheadVsDensity(vrounds),
+				experiments.EmulationOverheadVsReplicas(sweep([]int{1, 2, 4, 8}, []int{1, 4}), vrounds),
+			}
+		}},
+		{"E6", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.ChurnSurvival(sweep([]int{2, 4, 8}, []int{4}), vrounds*2),
+			}
+		}},
+		{"E7", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.BaselineVIComparison(sweep([]int{3, 7, 11, 15, 31}, []int{3, 15}), vrounds/2),
+				experiments.StateTransferCost([]int{0, 4, 16, 64}),
+			}
+		}},
+		{"E8", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.DetectorAblation(instances / 2),
+				experiments.CMAblation(instances),
+				experiments.CheckpointAblation(sweep([]int{50, 200, 800}, []int{50, 200})),
+			}
+		}},
+		{"E9", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.RoutingLatency(sweep([]int{2, 3, 5, 8}, []int{2, 4}), 4),
+				experiments.LockThroughput(sweep([]int{1, 2, 4, 8}, []int{2, 4}), vrounds*3),
+			}
+		}},
+	}
+
+	ran := 0
+	for _, exp := range suite {
+		if *only != "" && !strings.EqualFold(*only, exp.id) {
+			continue
+		}
+		fmt.Printf("### %s\n\n", exp.id)
+		for _, t := range exp.tables() {
+			t.Render(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "chabench: unknown experiment %q (want E1..E9)\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,147 @@
+// Command visim runs an interactive virtual infrastructure simulation: a
+// grid of virtual nodes running the tracking service, mobile targets
+// roaming the field with random-waypoint mobility, and tethered devices
+// emulating the virtual nodes. It prints a per-interval status report:
+// per-virtual-node availability, join/reset counts, and where the trackers
+// believe each target is versus where it actually is.
+//
+// Usage:
+//
+//	visim -grid 3x3 -targets 2 -devices 4 -vrounds 120 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vinfra/internal/apps"
+	"vinfra/internal/cd"
+	"vinfra/internal/cha"
+	"vinfra/internal/geo"
+	"vinfra/internal/metrics"
+	"vinfra/internal/mobility"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+)
+
+func main() {
+	gridSpec := flag.String("grid", "2x2", "virtual node grid (CxR)")
+	spacing := flag.Float64("spacing", 6, "grid spacing")
+	devices := flag.Int("devices", 3, "devices tethered per virtual node")
+	targets := flag.Int("targets", 2, "mobile targets to track")
+	vrounds := flag.Int("vrounds", 60, "virtual rounds to simulate")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var cols, rows int
+	if _, err := fmt.Sscanf(*gridSpec, "%dx%d", &cols, &rows); err != nil || cols < 1 || rows < 1 {
+		fmt.Fprintf(os.Stderr, "visim: bad -grid %q\n", *gridSpec)
+		os.Exit(2)
+	}
+
+	radii := geo.Radii{R1: 10, R2: 20}
+	grid := geo.Grid{Spacing: *spacing, Cols: cols, Rows: rows}
+	locs := grid.Locations()
+	sched := vi.BuildSchedule(locs, radii)
+
+	dep, err := vi.NewDeployment(vi.DeploymentConfig{
+		Locations: locs,
+		Radii:     radii,
+		Program:   apps.TrackerProgram(sched, apps.TrackerConfig{}),
+		VMax:      0.02,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "visim: %v\n", err)
+		os.Exit(1)
+	}
+
+	medium := radio.MustMedium(radio.Config{Radii: radii, Detector: cd.AC{}, Seed: *seed})
+	eng := sim.NewEngine(medium, sim.WithSeed(*seed))
+
+	// Emulator devices tethered near each virtual node.
+	greens := make([]int, len(locs))
+	outputs := make([]int, len(locs))
+	joins, resets := 0, 0
+	for v, loc := range locs {
+		v := v
+		for i := 0; i < *devices; i++ {
+			pos := geo.Point{X: loc.X + 0.4*float64(i) - 0.6, Y: loc.Y + 0.3}
+			eng.Attach(pos, mobility.Tether{Anchor: loc, Radius: 1.2, VMax: 0.02}, func(env sim.Env) sim.Node {
+				em := dep.NewEmulator(env, true)
+				em.SetHooks(vi.EmulatorHooks{
+					OnOutput: func(_ vi.VNodeID, out cha.Output) {
+						outputs[v]++
+						if out.Color == cha.Green {
+							greens[v]++
+						}
+					},
+					OnJoin:  func(vi.VNodeID, int) { joins++ },
+					OnReset: func(vi.VNodeID, int) { resets++ },
+				})
+				return em
+			})
+		}
+	}
+
+	// Mobile targets with random-waypoint mobility, beaconing their
+	// position; a stationary observer in the corner collects digests.
+	bounds := grid.Bounds()
+	area := geo.Rect{
+		Min: geo.Point{X: bounds.Min.X - 2, Y: bounds.Min.Y - 2},
+		Max: geo.Point{X: bounds.Max.X + 2, Y: bounds.Max.Y + 2},
+	}
+	targetIDs := make([]sim.NodeID, *targets)
+	for i := 0; i < *targets; i++ {
+		name := fmt.Sprintf("target-%c", 'A'+i)
+		var id sim.NodeID
+		id = eng.Attach(geo.Point{X: area.Min.X + float64(i), Y: area.Min.Y}, &mobility.RandomWaypoint{Area: area, VMax: 0.05},
+			func(env sim.Env) sim.Node {
+				return dep.NewClient(env, &apps.TargetClient{
+					Name:   name,
+					Period: 2,
+					Pos:    env.Location,
+				})
+			})
+		targetIDs[i] = id
+	}
+	observer := &apps.ObserverClient{}
+	eng.Attach(locs[0], nil, func(env sim.Env) sim.Node {
+		return dep.NewClient(env, observer)
+	})
+
+	per := dep.Timing().RoundsPerVRound()
+	fmt.Printf("virtual infrastructure: %d virtual nodes, schedule length %d, %d radio rounds per virtual round\n",
+		len(locs), sched.Len(), per)
+	fmt.Printf("devices: %d emulators, %d targets; running %d virtual rounds (%d radio rounds)\n\n",
+		len(locs)**devices, *targets, *vrounds, *vrounds*per)
+
+	eng.Run(*vrounds * per)
+
+	vnTable := metrics.NewTable("virtual nodes", "vn", "location", "slot", "availability")
+	for v, loc := range locs {
+		avail := 0.0
+		if outputs[v] > 0 {
+			avail = float64(greens[v]) / float64(outputs[v])
+		}
+		vnTable.AddRow(fmt.Sprintf("vn%d", v), loc.String(), metrics.D(sched.SlotOf(vi.VNodeID(v))), metrics.F(avail))
+	}
+	vnTable.Render(os.Stdout)
+
+	trTable := metrics.NewTable("tracking (observer at vn0)", "target", "believed", "actual", "error")
+	for i, id := range targetIDs {
+		name := fmt.Sprintf("target-%c", 'A'+i)
+		actual := eng.Position(id)
+		if sg, ok := observer.Lookup(name); ok {
+			believed := geo.Point{X: sg.X, Y: sg.Y}
+			trTable.AddRow(name, believed.String(), actual.String(), metrics.F(believed.Dist(actual)))
+		} else {
+			trTable.AddRow(name, "(unknown)", actual.String(), "-")
+		}
+	}
+	trTable.Render(os.Stdout)
+
+	fmt.Printf("joins: %d  resets: %d  transmissions: %d  max message: %d B\n",
+		joins, resets, eng.Stats().Transmissions, eng.Stats().MaxMessageSize)
+}

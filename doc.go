@@ -1,0 +1,15 @@
+// Package vinfra is a reproduction of "Virtual Infrastructure for
+// Collision-Prone Wireless Networks" (Chockler, Gilbert, Lynch, PODC 2008).
+//
+// The library lives under internal/: the slotted radio simulator (sim,
+// radio, geo, mobility), the model's collision detectors (cd) and
+// contention managers (cm), the Convergent History Agreement protocol that
+// is the paper's core contribution (cha), the full virtual infrastructure
+// emulation (vi), applications on top of it (apps), the baselines the paper
+// argues against (baseline), and the experiment suite (experiments).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for the reproduced results. The
+// benchmarks in bench_test.go regenerate every experiment table; the
+// cmd/chabench binary prints them.
+package vinfra

@@ -1,0 +1,89 @@
+// Atomic memory example (the GeoQuorums motivation, paper reference [13]):
+// a virtual node hosts a read/write register. Writers update it, readers
+// observe a linearizable sequence of versions, and the register survives
+// the crash of individual replica devices.
+package main
+
+import (
+	"fmt"
+
+	"vinfra/internal/apps"
+	"vinfra/internal/cd"
+	"vinfra/internal/cm"
+	"vinfra/internal/geo"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+)
+
+func main() {
+	radii := geo.Radii{R1: 10, R2: 20}
+	locs := []geo.Point{{X: 0, Y: 0}}
+	sched := vi.BuildSchedule(locs, radii)
+
+	// A shared fixed-leader contention manager keeps the demo
+	// deterministic; swap in the default regional backoff CM for a fully
+	// decentralized run.
+	factory, setLeader := cm.NewFixed(0)
+	dep, err := vi.NewDeployment(vi.DeploymentConfig{
+		Locations: locs,
+		Radii:     radii,
+		Program:   apps.RegisterProgram(sched),
+		NewCM:     func(v vi.VNodeID, env sim.Env) cm.Manager { return factory(env) },
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	medium := radio.MustMedium(radio.Config{Radii: radii, Detector: cd.AC{}, Seed: 7})
+	eng := sim.NewEngine(medium, sim.WithSeed(7))
+
+	// Four replica devices.
+	for i := 0; i < 4; i++ {
+		pos := geo.Point{X: 0.4*float64(i) - 0.6, Y: 0.2}
+		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
+			return dep.NewEmulator(env, true)
+		})
+	}
+
+	// A writer issuing two writes, and two readers.
+	writer := &apps.RegisterWriter{Writes: map[int]string{3: "first", 9: "second"}}
+	reader1 := &apps.RegisterReader{}
+	reader2 := &apps.RegisterReader{}
+	eng.Attach(geo.Point{X: 1.4, Y: -0.8}, nil, func(env sim.Env) sim.Node {
+		return dep.NewClient(env, writer)
+	})
+	eng.Attach(geo.Point{X: -1.4, Y: 0.8}, nil, func(env sim.Env) sim.Node {
+		return dep.NewClient(env, reader1)
+	})
+	eng.Attach(geo.Point{X: 0.2, Y: 1.6}, nil, func(env sim.Env) sim.Node {
+		return dep.NewClient(env, reader2)
+	})
+
+	per := dep.Timing().RoundsPerVRound()
+	eng.Run(6 * per)
+
+	// Crash the leader replica mid-run: the register must survive.
+	fmt.Println("crashing replica 0 (the leader) ...")
+	eng.Crash(0)
+	setLeader(1)
+	eng.Run(8 * per)
+
+	fmt.Println("\nreader 1 observations:")
+	for _, o := range reader1.Observed {
+		fmt.Printf("  vround %2d: version %d value %q\n", o.VRound, o.Version, o.Value)
+	}
+	fmt.Println("reader 2 observations:")
+	for _, o := range reader2.Observed {
+		fmt.Printf("  vround %2d: version %d value %q\n", o.VRound, o.Version, o.Value)
+	}
+
+	final1 := reader1.Observed[len(reader1.Observed)-1]
+	final2 := reader2.Observed[len(reader2.Observed)-1]
+	fmt.Printf("\nfinal agreement: reader1=%q v%d, reader2=%q v%d\n",
+		final1.Value, final1.Version, final2.Value, final2.Version)
+	if final1.Value != "second" || final2.Value != "second" {
+		panic("register lost a write")
+	}
+	fmt.Println("register survived the replica crash with no lost writes")
+}

@@ -1,0 +1,167 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vinfra/internal/geo"
+	"vinfra/internal/vi"
+)
+
+// Address allocation over virtual infrastructure (paper reference [47]:
+// "IP address allocation in ad hoc networks"): each virtual node owns a
+// disjoint address block derived from its identity and leases addresses to
+// requesting clients. Because the virtual node is a single agreed state
+// machine, two clients can never be handed the same address by the same
+// virtual node, and blocks are disjoint across virtual nodes by
+// construction — global uniqueness with zero coordination.
+
+// Lease is one allocated address.
+type Lease struct {
+	Name string
+	Addr int
+}
+
+// AllocState is the allocator virtual node state. Leases are kept sorted
+// by name (no maps: deterministic gob encoding).
+type AllocState struct {
+	Block  int // base address of this node's block
+	Next   int // next offset to hand out
+	Leases []Lease
+}
+
+// BlockSize is the number of addresses each virtual node owns.
+const BlockSize = 256
+
+// Allocator wire formats.
+const (
+	allocReqPrefix   = "ADR|" // ADR|name        (request)
+	allocFreePrefix  = "ADF|" // ADF|name        (release)
+	allocGrantPrefix = "ADA|" // ADA|name|addr   (assignment broadcast)
+)
+
+// AllocRequest builds an address request for the named client.
+func AllocRequest(name string) *vi.Message {
+	return &vi.Message{Payload: allocReqPrefix + name}
+}
+
+// AllocRelease builds an address release for the named client.
+func AllocRelease(name string) *vi.Message {
+	return &vi.Message{Payload: allocFreePrefix + name}
+}
+
+// ParseAssignment parses an assignment broadcast into (name, addr).
+func ParseAssignment(payload string) (name string, addr int, ok bool) {
+	if !strings.HasPrefix(payload, allocGrantPrefix) {
+		return "", 0, false
+	}
+	rest := payload[len(allocGrantPrefix):]
+	sep := strings.LastIndexByte(rest, '|')
+	if sep < 0 {
+		return "", 0, false
+	}
+	a, err := strconv.Atoi(rest[sep+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:sep], a, true
+}
+
+func (s *AllocState) find(name string) (int, bool) {
+	for i, l := range s.Leases {
+		if l.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (s *AllocState) lease(name string) {
+	if _, ok := s.find(name); ok {
+		return // idempotent: re-requests keep the same address
+	}
+	if s.Next >= BlockSize {
+		return // block exhausted
+	}
+	addr := s.Block + s.Next
+	s.Next++
+	// Insert sorted by name.
+	i := 0
+	for i < len(s.Leases) && s.Leases[i].Name < name {
+		i++
+	}
+	s.Leases = append(s.Leases, Lease{})
+	copy(s.Leases[i+1:], s.Leases[i:])
+	s.Leases[i] = Lease{Name: name, Addr: addr}
+}
+
+func (s *AllocState) release(name string) {
+	if i, ok := s.find(name); ok {
+		s.Leases = append(s.Leases[:i], s.Leases[i+1:]...)
+	}
+}
+
+// AllocProgram returns the address-allocation virtual node program. When
+// scheduled, the node broadcasts one assignment per round, cycling through
+// current leases so every client eventually hears its address.
+func AllocProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
+	return func(v vi.VNodeID) vi.Program {
+		return vi.Codec[AllocState]{
+			InitState: func(id vi.VNodeID, _ geo.Point) AllocState {
+				return AllocState{Block: int(id) * BlockSize}
+			},
+			Step: func(s AllocState, vround int, in vi.RoundInput) AllocState {
+				for _, m := range in.Msgs {
+					switch {
+					case strings.HasPrefix(m, allocReqPrefix):
+						s.lease(m[len(allocReqPrefix):])
+					case strings.HasPrefix(m, allocFreePrefix):
+						s.release(m[len(allocFreePrefix):])
+					}
+				}
+				return s
+			},
+			Out: func(s AllocState, vround int) *vi.Message {
+				if !sched.ScheduledIn(v, vround-1) || len(s.Leases) == 0 {
+					return nil
+				}
+				l := s.Leases[vround%len(s.Leases)]
+				return &vi.Message{
+					Payload: fmt.Sprintf("%s%s|%d", allocGrantPrefix, l.Name, l.Addr),
+				}
+			},
+		}
+	}
+}
+
+// AllocClient requests an address and records the assignment it hears.
+type AllocClient struct {
+	Name string
+
+	// Addr is the assigned address, valid once Assigned is true.
+	Addr     int
+	Assigned bool
+}
+
+// Step implements vi.ClientProgram.
+func (c *AllocClient) Step(vround int, recv []vi.Message, collision bool) *vi.Message {
+	for _, m := range recv {
+		if name, addr, ok := ParseAssignment(m.Payload); ok && name == c.Name {
+			c.Addr = addr
+			c.Assigned = true
+		}
+	}
+	if c.Assigned {
+		return nil
+	}
+	// Stagger retries by name to avoid colliding with other requesters.
+	offset := 0
+	for _, b := range []byte(c.Name) {
+		offset = (offset*31 + int(b)) % slotPeriod
+	}
+	if vround%slotPeriod != offset {
+		return nil
+	}
+	return AllocRequest(c.Name)
+}

@@ -1,0 +1,132 @@
+// Package apps implements application services on top of the virtual
+// infrastructure — the workloads the paper's introduction motivates:
+// reconfigurable atomic memory [13], location tracking [36], and
+// coordination services (mutual exclusion, robot waypoints) [4, 27].
+//
+// Each service is a deterministic virtual node program (vi.Program) plus
+// client-side helpers. Because a virtual node is a single replicated state
+// machine with an agreed input history, operations that reach it are
+// trivially linearized in history order; the emulation layer supplies the
+// fault tolerance.
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vinfra/internal/geo"
+	"vinfra/internal/vi"
+)
+
+// RegisterState is the state of the atomic register virtual node: the
+// current value and a version counter incremented by every applied write.
+// (No maps: states must gob-encode deterministically.)
+type RegisterState struct {
+	Value   string
+	Version int
+}
+
+// Register wire formats.
+const (
+	registerWritePrefix = "REGW|"
+	registerReplyPrefix = "REGV|"
+)
+
+// RegisterWrite builds the client message writing value to the register.
+func RegisterWrite(value string) *vi.Message {
+	return &vi.Message{Payload: registerWritePrefix + value}
+}
+
+// ParseRegisterReply parses a register broadcast ("REGV|version|value")
+// into its version and value.
+func ParseRegisterReply(payload string) (version int, value string, ok bool) {
+	if !strings.HasPrefix(payload, registerReplyPrefix) {
+		return 0, "", false
+	}
+	rest := payload[len(registerReplyPrefix):]
+	sep := strings.IndexByte(rest, '|')
+	if sep < 0 {
+		return 0, "", false
+	}
+	v, err := strconv.Atoi(rest[:sep])
+	if err != nil {
+		return 0, "", false
+	}
+	return v, rest[sep+1:], true
+}
+
+// RegisterProgram returns the atomic-register virtual node program. The
+// register applies writes in the agreed history order (ties within a round
+// broken by payload order, which the agreement makes identical at every
+// replica) and broadcasts its current version and value whenever it is
+// scheduled.
+func RegisterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
+	return func(v vi.VNodeID) vi.Program {
+		return vi.Codec[RegisterState]{
+			InitState: func(vi.VNodeID, geo.Point) RegisterState {
+				return RegisterState{}
+			},
+			Step: func(s RegisterState, vround int, in vi.RoundInput) RegisterState {
+				for _, m := range in.Msgs {
+					if strings.HasPrefix(m, registerWritePrefix) {
+						s.Value = m[len(registerWritePrefix):]
+						s.Version++
+					}
+				}
+				return s
+			},
+			Out: func(s RegisterState, vround int) *vi.Message {
+				if !sched.ScheduledIn(v, vround-1) {
+					return nil
+				}
+				return &vi.Message{
+					Payload: fmt.Sprintf("%s%d|%s", registerReplyPrefix, s.Version, s.Value),
+				}
+			},
+		}
+	}
+}
+
+// RegisterReader is a client program that records every register broadcast
+// it hears. Reads are "listen for the next reply": the register broadcasts
+// its state every time it is scheduled.
+type RegisterReader struct {
+	// Observed holds (version, value) pairs in reception order.
+	Observed []RegisterObservation
+}
+
+// RegisterObservation is one register broadcast seen by a reader.
+type RegisterObservation struct {
+	VRound  int
+	Version int
+	Value   string
+}
+
+// Step implements vi.ClientProgram.
+func (r *RegisterReader) Step(vround int, recv []vi.Message, collision bool) *vi.Message {
+	for _, m := range recv {
+		if ver, val, ok := ParseRegisterReply(m.Payload); ok {
+			r.Observed = append(r.Observed, RegisterObservation{VRound: vround, Version: ver, Value: val})
+		}
+	}
+	return nil
+}
+
+// RegisterWriter is a client program that issues one write per entry of
+// Writes, at the virtual rounds given by their keys, and collects replies
+// like a reader.
+type RegisterWriter struct {
+	// Writes maps virtual round -> value to write in that round.
+	Writes map[int]string
+	RegisterReader
+}
+
+// Step implements vi.ClientProgram.
+func (w *RegisterWriter) Step(vround int, recv []vi.Message, collision bool) *vi.Message {
+	w.RegisterReader.Step(vround, recv, collision)
+	if v, ok := w.Writes[vround]; ok {
+		return RegisterWrite(v)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vinfra/internal/geo"
+	"vinfra/internal/vi"
+)
+
+// Geographic routing over the virtual infrastructure (paper references
+// [12, 16, 17, 40]): a client hands a packet addressed to a location to
+// its local virtual node; virtual nodes greedily relay it toward the
+// destination over the virtual channel (each VN broadcast reaches the
+// neighboring VNs); the virtual node closest to the destination delivers
+// the packet to its local clients. Virtual nodes are static, so greedy
+// geographic forwarding needs no routing tables and no route discovery —
+// exactly the simplification virtual infrastructure buys.
+
+// Packet is a routed message in flight.
+type Packet struct {
+	ID   string
+	Dst  geo.Point
+	TTL  int
+	Body string
+	// Copies is how many more times this node will relay the packet.
+	// The virtual channel gives no delivery confirmation (a vn-phase
+	// broadcast can be lost to collisions), so each hop relays the packet
+	// RelayCopies times; duplicate suppression keeps this loop-free.
+	Copies int
+}
+
+// RelayCopies is the per-hop relay redundancy.
+const RelayCopies = 2
+
+// RouterState is the router virtual node state.
+type RouterState struct {
+	// Loc is this virtual node's own location (set at Init).
+	Loc geo.Point
+	// Pending are packets awaiting this node's next scheduled broadcast.
+	Pending []Packet
+	// Delivered are packets to announce to local clients.
+	Delivered []Packet
+	// Seen holds recently seen packet IDs for duplicate suppression
+	// (bounded FIFO).
+	Seen []string
+}
+
+const routerSeenCap = 32
+
+func (s *RouterState) sawPacket(id string) bool {
+	for _, x := range s.Seen {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *RouterState) markSeen(id string) {
+	s.Seen = append(s.Seen, id)
+	if len(s.Seen) > routerSeenCap {
+		s.Seen = s.Seen[len(s.Seen)-routerSeenCap:]
+	}
+}
+
+// Router wire formats.
+const (
+	routeSendPrefix    = "RTS|" // RTS|dstX|dstY|id|body          (client -> local VN)
+	routeRelayPrefix   = "RTP|" // RTP|srcX|srcY|dstX|dstY|id|ttl|body (VN -> VN)
+	routeDeliverPrefix = "RTD|" // RTD|id|body                    (VN -> local clients)
+)
+
+// RouteSend builds the client message injecting a packet addressed to dst.
+func RouteSend(dst geo.Point, id, body string) *vi.Message {
+	return &vi.Message{Payload: fmt.Sprintf("%s%.3f|%.3f|%s|%s", routeSendPrefix, dst.X, dst.Y, id, body)}
+}
+
+// ParseDelivery parses a delivery broadcast into (id, body).
+func ParseDelivery(payload string) (id, body string, ok bool) {
+	if !strings.HasPrefix(payload, routeDeliverPrefix) {
+		return "", "", false
+	}
+	rest := payload[len(routeDeliverPrefix):]
+	sep := strings.IndexByte(rest, '|')
+	if sep < 0 {
+		return "", "", false
+	}
+	return rest[:sep], rest[sep+1:], true
+}
+
+func parseSend(payload string) (Packet, bool) {
+	if !strings.HasPrefix(payload, routeSendPrefix) {
+		return Packet{}, false
+	}
+	parts := strings.SplitN(payload[len(routeSendPrefix):], "|", 4)
+	if len(parts) != 4 {
+		return Packet{}, false
+	}
+	x, errX := strconv.ParseFloat(parts[0], 64)
+	y, errY := strconv.ParseFloat(parts[1], 64)
+	if errX != nil || errY != nil || parts[2] == "" {
+		return Packet{}, false
+	}
+	return Packet{ID: parts[2], Dst: geo.Point{X: x, Y: y}, TTL: 16, Body: parts[3]}, true
+}
+
+func encodeRelay(from geo.Point, p Packet) string {
+	return fmt.Sprintf("%s%.3f|%.3f|%.3f|%.3f|%s|%d|%s",
+		routeRelayPrefix, from.X, from.Y, p.Dst.X, p.Dst.Y, p.ID, p.TTL, p.Body)
+}
+
+func parseRelay(payload string) (from geo.Point, p Packet, ok bool) {
+	if !strings.HasPrefix(payload, routeRelayPrefix) {
+		return geo.Point{}, Packet{}, false
+	}
+	parts := strings.SplitN(payload[len(routeRelayPrefix):], "|", 7)
+	if len(parts) != 7 {
+		return geo.Point{}, Packet{}, false
+	}
+	fx, e1 := strconv.ParseFloat(parts[0], 64)
+	fy, e2 := strconv.ParseFloat(parts[1], 64)
+	dx, e3 := strconv.ParseFloat(parts[2], 64)
+	dy, e4 := strconv.ParseFloat(parts[3], 64)
+	ttl, e5 := strconv.Atoi(parts[5])
+	if e1 != nil || e2 != nil || e3 != nil || e4 != nil || e5 != nil || parts[4] == "" {
+		return geo.Point{}, Packet{}, false
+	}
+	return geo.Point{X: fx, Y: fy},
+		Packet{ID: parts[4], Dst: geo.Point{X: dx, Y: dy}, TTL: ttl, Body: parts[6]},
+		true
+}
+
+// RouterProgram returns the routing virtual node program. locs must be the
+// deployment's virtual node locations (used to decide whether this node is
+// the packet's final destination).
+func RouterProgram(sched vi.Schedule, locs []geo.Point) func(vi.VNodeID) vi.Program {
+	// isClosest reports whether loc is the deployment's closest virtual
+	// node to dst.
+	isClosest := func(loc geo.Point, dst geo.Point) bool {
+		best := loc.Dist2(dst)
+		for _, other := range locs {
+			if other.Dist2(dst) < best {
+				return false
+			}
+		}
+		return true
+	}
+	return func(v vi.VNodeID) vi.Program {
+		return vi.Codec[RouterState]{
+			InitState: func(id vi.VNodeID, loc geo.Point) RouterState {
+				return RouterState{Loc: loc}
+			},
+			Step: func(s RouterState, vround int, in vi.RoundInput) RouterState {
+				for _, m := range in.Msgs {
+					var pkt Packet
+					var from geo.Point
+					var isRelay bool
+					if p, ok := parseSend(m); ok {
+						pkt, from, isRelay = p, s.Loc, false
+					} else if f, p, ok := parseRelay(m); ok {
+						pkt, from, isRelay = p, f, true
+					} else {
+						continue
+					}
+					if s.sawPacket(pkt.ID) || pkt.TTL <= 0 {
+						continue
+					}
+					// Greedy rule: a relayed packet is adopted only by
+					// nodes strictly closer to the destination than the
+					// previous hop (locally injected packets are always
+					// adopted).
+					if isRelay && s.Loc.Dist2(pkt.Dst) >= from.Dist2(pkt.Dst) {
+						continue
+					}
+					s.markSeen(pkt.ID)
+					if isClosest(s.Loc, pkt.Dst) {
+						pkt.Copies = RelayCopies
+						s.Delivered = append(s.Delivered, pkt)
+					} else {
+						pkt.TTL--
+						pkt.Copies = RelayCopies
+						s.Pending = append(s.Pending, pkt)
+					}
+				}
+				return s
+			},
+			Out: func(s RouterState, vround int) *vi.Message {
+				if !sched.ScheduledIn(v, vround-1) {
+					return nil
+				}
+				// Deliveries take priority over relays; one broadcast per
+				// scheduled round. (Out must not mutate state — the queue
+				// entry is retired by retireHead below on the next Step.)
+				if len(s.Delivered) > 0 {
+					p := s.Delivered[0]
+					return &vi.Message{Payload: fmt.Sprintf("%s%s|%s", routeDeliverPrefix, p.ID, p.Body)}
+				}
+				if len(s.Pending) > 0 {
+					return &vi.Message{Payload: encodeRelay(s.Loc, s.Pending[0])}
+				}
+				return nil
+			},
+		}
+	}
+}
+
+// The Out function cannot mutate state (it is a pure function of the
+// state). Queue retirement therefore happens in Step: when the round input
+// records that the virtual node broadcast (VNBroadcast), the head of the
+// corresponding queue is retired. This is wired through retireHead inside
+// Step via the RoundInput — implemented below by wrapping the Codec.
+
+// routerRetire accounts for the head-of-queue broadcast that the agreed
+// round input confirms: the head's remaining copy count is decremented,
+// and the packet is rotated to the back of the queue (or dropped at zero
+// copies) so later packets are not starved.
+func routerRetire(s RouterState, in vi.RoundInput) RouterState {
+	if !in.VNBroadcast {
+		return s
+	}
+	pop := func(q []Packet) []Packet {
+		head := q[0]
+		rest := append([]Packet(nil), q[1:]...)
+		head.Copies--
+		if head.Copies > 0 {
+			rest = append(rest, head)
+		}
+		return rest
+	}
+	if len(s.Delivered) > 0 {
+		s.Delivered = pop(s.Delivered)
+		return s
+	}
+	if len(s.Pending) > 0 {
+		s.Pending = pop(s.Pending)
+	}
+	return s
+}
+
+// RoutedProgram composes RouterProgram with queue retirement; use this as
+// the deployment program.
+func RoutedProgram(sched vi.Schedule, locs []geo.Point) func(vi.VNodeID) vi.Program {
+	inner := RouterProgram(sched, locs)
+	return func(v vi.VNodeID) vi.Program {
+		return &retiringProgram{inner: inner(v)}
+	}
+}
+
+// retiringProgram wraps the router codec so that queue heads are retired
+// when the agreed round input confirms the broadcast happened.
+type retiringProgram struct {
+	inner vi.Program
+}
+
+// Init implements vi.Program.
+func (p *retiringProgram) Init(id vi.VNodeID, loc geo.Point) string {
+	return p.inner.Init(id, loc)
+}
+
+// OnRound implements vi.Program: retire first (the broadcast preceded this
+// round's agreement), then process the round's messages.
+func (p *retiringProgram) OnRound(state string, vround int, in vi.RoundInput) string {
+	var s RouterState
+	decodeRouterState(state, &s)
+	s = routerRetire(s, in)
+	return p.inner.OnRound(encodeRouterState(s), vround, in)
+}
+
+// Outgoing implements vi.Program.
+func (p *retiringProgram) Outgoing(state string, vround int) *vi.Message {
+	return p.inner.Outgoing(state, vround)
+}
+
+func encodeRouterState(s RouterState) string {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		panic(fmt.Sprintf("apps: router state encode: %v", err))
+	}
+	return buf.String()
+}
+
+func decodeRouterState(raw string, out *RouterState) {
+	if raw == "" {
+		return
+	}
+	if err := gob.NewDecoder(bytes.NewReader([]byte(raw))).Decode(out); err != nil {
+		panic(fmt.Sprintf("apps: router state decode: %v", err))
+	}
+}
+
+// RouterClient injects packets and collects deliveries.
+type RouterClient struct {
+	// Sends maps virtual round -> packet to inject in that round.
+	Sends map[int]*vi.Message
+	// Received collects (id, body) deliveries heard.
+	Received []Packet
+}
+
+// Step implements vi.ClientProgram.
+func (c *RouterClient) Step(vround int, recv []vi.Message, collision bool) *vi.Message {
+	for _, m := range recv {
+		if id, body, ok := ParseDelivery(m.Payload); ok {
+			dup := false
+			for _, r := range c.Received {
+				if r.ID == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				c.Received = append(c.Received, Packet{ID: id, Body: body})
+			}
+		}
+	}
+	if m, ok := c.Sends[vround]; ok {
+		return m
+	}
+	return nil
+}

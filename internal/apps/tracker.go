@@ -1,0 +1,236 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vinfra/internal/geo"
+	"vinfra/internal/vi"
+)
+
+// The tracking service (paper reference [36]: "a virtual node-based
+// tracking algorithm for mobile networks"): mobile targets broadcast
+// heartbeat beacons; the local virtual node records the last sighting per
+// target and, when scheduled, broadcasts a digest of recent sightings.
+// Neighboring virtual nodes hear these digests on the virtual channel and
+// merge them, so sightings propagate across the infrastructure without any
+// physical infrastructure.
+
+// Sighting is the last known position of a tracked target.
+type Sighting struct {
+	Name   string
+	X, Y   float64
+	VRound int // virtual round of the observation
+}
+
+// TrackerState is the tracker virtual node state: sightings sorted by name
+// (sorted slice, not a map, for deterministic gob encoding).
+type TrackerState struct {
+	Sightings []Sighting
+}
+
+func (s *TrackerState) upsert(sg Sighting) {
+	i := sort.Search(len(s.Sightings), func(i int) bool {
+		return s.Sightings[i].Name >= sg.Name
+	})
+	if i < len(s.Sightings) && s.Sightings[i].Name == sg.Name {
+		if s.Sightings[i].VRound <= sg.VRound {
+			s.Sightings[i] = sg
+		}
+		return
+	}
+	s.Sightings = append(s.Sightings, Sighting{})
+	copy(s.Sightings[i+1:], s.Sightings[i:])
+	s.Sightings[i] = sg
+}
+
+// Lookup returns the sighting for name, if known.
+func (s *TrackerState) Lookup(name string) (Sighting, bool) {
+	i := sort.Search(len(s.Sightings), func(i int) bool {
+		return s.Sightings[i].Name >= name
+	})
+	if i < len(s.Sightings) && s.Sightings[i].Name == name {
+		return s.Sightings[i], true
+	}
+	return Sighting{}, false
+}
+
+// Tracker wire formats.
+const (
+	beaconPrefix = "TRB|" // TRB|name|x|y       (client beacon)
+	digestPrefix = "TRD|" // TRD|name:x:y:r|... (virtual node digest)
+)
+
+// Beacon builds a heartbeat message for a target at position p.
+func Beacon(name string, p geo.Point) *vi.Message {
+	return &vi.Message{Payload: fmt.Sprintf("%s%s|%.3f|%.3f", beaconPrefix, name, p.X, p.Y)}
+}
+
+func parseBeacon(payload string, vround int) (Sighting, bool) {
+	if !strings.HasPrefix(payload, beaconPrefix) {
+		return Sighting{}, false
+	}
+	parts := strings.Split(payload[len(beaconPrefix):], "|")
+	if len(parts) != 3 {
+		return Sighting{}, false
+	}
+	x, errX := strconv.ParseFloat(parts[1], 64)
+	y, errY := strconv.ParseFloat(parts[2], 64)
+	if errX != nil || errY != nil || parts[0] == "" {
+		return Sighting{}, false
+	}
+	return Sighting{Name: parts[0], X: x, Y: y, VRound: vround}, true
+}
+
+// encodeDigest renders the most recent sightings (up to max) as a digest
+// broadcast.
+func encodeDigest(s TrackerState, max int) string {
+	recent := append([]Sighting(nil), s.Sightings...)
+	sort.Slice(recent, func(i, j int) bool {
+		if recent[i].VRound != recent[j].VRound {
+			return recent[i].VRound > recent[j].VRound
+		}
+		return recent[i].Name < recent[j].Name
+	})
+	if len(recent) > max {
+		recent = recent[:max]
+	}
+	var sb strings.Builder
+	sb.WriteString(digestPrefix)
+	for i, sg := range recent {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		fmt.Fprintf(&sb, "%s:%.3f:%.3f:%d", sg.Name, sg.X, sg.Y, sg.VRound)
+	}
+	return sb.String()
+}
+
+// ParseDigest decodes a tracker digest broadcast into sightings.
+func ParseDigest(payload string) ([]Sighting, bool) {
+	if !strings.HasPrefix(payload, digestPrefix) {
+		return nil, false
+	}
+	body := payload[len(digestPrefix):]
+	if body == "" {
+		return nil, true
+	}
+	var out []Sighting
+	for _, entry := range strings.Split(body, "|") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 4 {
+			return nil, false
+		}
+		x, errX := strconv.ParseFloat(parts[1], 64)
+		y, errY := strconv.ParseFloat(parts[2], 64)
+		r, errR := strconv.Atoi(parts[3])
+		if errX != nil || errY != nil || errR != nil {
+			return nil, false
+		}
+		out = append(out, Sighting{Name: parts[0], X: x, Y: y, VRound: r})
+	}
+	return out, true
+}
+
+// TrackerConfig tunes the tracking service.
+type TrackerConfig struct {
+	// DigestSize bounds the number of sightings per digest broadcast
+	// (keeping virtual messages small). Default 4.
+	DigestSize int
+}
+
+func (c TrackerConfig) withDefaults() TrackerConfig {
+	if c.DigestSize <= 0 {
+		c.DigestSize = 4
+	}
+	return c
+}
+
+// TrackerProgram returns the tracking virtual node program.
+func TrackerProgram(sched vi.Schedule, cfg TrackerConfig) func(vi.VNodeID) vi.Program {
+	cfg = cfg.withDefaults()
+	return func(v vi.VNodeID) vi.Program {
+		return vi.Codec[TrackerState]{
+			InitState: func(vi.VNodeID, geo.Point) TrackerState {
+				return TrackerState{}
+			},
+			Step: func(s TrackerState, vround int, in vi.RoundInput) TrackerState {
+				for _, m := range in.Msgs {
+					if sg, ok := parseBeacon(m, vround); ok {
+						s.upsert(sg)
+						continue
+					}
+					if sgs, ok := ParseDigest(m); ok {
+						// Merge a neighboring virtual node's digest.
+						for _, sg := range sgs {
+							s.upsert(sg)
+						}
+					}
+				}
+				return s
+			},
+			Out: func(s TrackerState, vround int) *vi.Message {
+				if !sched.ScheduledIn(v, vround-1) || len(s.Sightings) == 0 {
+					return nil
+				}
+				return &vi.Message{Payload: encodeDigest(s, cfg.DigestSize)}
+			},
+		}
+	}
+}
+
+// TargetClient is a client program that beacons its (externally updated)
+// position every Period virtual rounds. Beacon rounds are staggered by a
+// name-derived offset so that co-located targets do not collide on the
+// virtual channel every time.
+type TargetClient struct {
+	Name   string
+	Period int
+	// Pos is read at each beacon; update it from the mobility model (or a
+	// closure over sim.Env.Location).
+	Pos func() geo.Point
+}
+
+// Step implements vi.ClientProgram.
+func (c *TargetClient) Step(vround int, recv []vi.Message, collision bool) *vi.Message {
+	period := c.Period
+	if period <= 0 {
+		period = 1
+	}
+	offset := 0
+	for _, b := range []byte(c.Name) {
+		offset = (offset*31 + int(b)) % period
+	}
+	if vround%period != offset {
+		return nil
+	}
+	return Beacon(c.Name, c.Pos())
+}
+
+// ObserverClient listens for digests and accumulates the freshest sighting
+// per target.
+type ObserverClient struct {
+	state TrackerState
+}
+
+// Step implements vi.ClientProgram.
+func (c *ObserverClient) Step(vround int, recv []vi.Message, collision bool) *vi.Message {
+	for _, m := range recv {
+		if sgs, ok := ParseDigest(m.Payload); ok {
+			for _, sg := range sgs {
+				c.state.upsert(sg)
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup returns the observer's freshest sighting for name.
+func (c *ObserverClient) Lookup(name string) (Sighting, bool) {
+	return c.state.Lookup(name)
+}
+
+// Known returns the number of distinct targets the observer has seen.
+func (c *ObserverClient) Known() int { return len(c.state.Sightings) }

@@ -1,0 +1,278 @@
+package cha
+
+// Core is the round-agnostic CHAP state machine of Figure 1. It holds the
+// per-instance status (color) and ballot arrays, the prev-instance pointer,
+// and the calculate-history function; callers drive it through the three
+// phases of each instance (Begin/ObserveBallots, NeedVeto1/ObserveVeto1,
+// NeedVeto2/ObserveVeto2) and schedule the phases onto actual communication
+// rounds themselves.
+//
+// Two schedulers exist in this repository: Replica (this package) runs one
+// phase per radio round — the plain CHA setting of Section 3 — and the
+// virtual infrastructure emulator (internal/vi) embeds the phases into its
+// eleven-phase virtual round, stretching the ballot phase of unscheduled
+// instances over s+2 slots (Section 4.3).
+type Core struct {
+	k    Instance // current instance (Figure 1 line 6: k)
+	prev Instance // most recent good instance (prev-instance)
+
+	status  map[Instance]Color // absent = green (Figure 1 line 7)
+	ballots map[Instance]Ballot
+
+	floor Instance // garbage-collection floor (Section 3.5); 0 = keep all
+
+	// BrokenChains counts calculate-history walks that dereferenced a
+	// missing ballot. With complete collision detectors this must remain
+	// zero (Lemma 6); the Null-detector ablation drives it positive.
+	BrokenChains int
+}
+
+// NewCore returns a fresh CHAP state machine with no completed instances.
+func NewCore() *Core {
+	return &Core{
+		status:  make(map[Instance]Color),
+		ballots: make(map[Instance]Ballot),
+	}
+}
+
+// Instance returns the instance currently in progress (0 before Begin).
+func (c *Core) Instance() Instance { return c.k }
+
+// Prev returns the prev-instance pointer: the most recent instance this
+// node designated good (yellow or green), or 0.
+func (c *Core) Prev() Instance { return c.prev }
+
+// Status returns the color this node assigned to instance k (green if the
+// instance was never downgraded).
+func (c *Core) Status(k Instance) Color {
+	if s, ok := c.status[k]; ok {
+		return s
+	}
+	return Green
+}
+
+func (c *Core) downgrade(k Instance, to Color) {
+	c.status[k] = minColor(to, c.Status(k))
+}
+
+// Begin starts instance k with proposal v and returns the ballot this node
+// would broadcast if advised active (Figure 1 lines 13–19). Instances must
+// be begun in increasing order.
+func (c *Core) Begin(k Instance, v Value) Ballot {
+	if k <= c.k {
+		panic("cha: Begin called with non-increasing instance")
+	}
+	c.k = k
+	return Ballot{V: v, Prev: c.prev}
+}
+
+// ObserveBallots closes the ballot phase of the current instance with the
+// set of ballots received and the collision indication (Figure 1
+// lines 29–32): no ballot or a collision designates the instance red;
+// otherwise the minimum ballot is adopted.
+func (c *Core) ObserveBallots(received []Ballot, collision bool) {
+	if len(received) == 0 || collision {
+		c.downgrade(c.k, Red)
+		return
+	}
+	c.ballots[c.k] = MinBallot(received)
+}
+
+// NeedVeto1 reports whether this node must broadcast a veto in the first
+// veto phase (Figure 1 line 21: status red).
+func (c *Core) NeedVeto1() bool { return c.Status(c.k) == Red }
+
+// ObserveVeto1 closes the first veto phase: a received veto or a collision
+// downgrades the instance to (at most) orange (Figure 1 lines 33–35).
+func (c *Core) ObserveVeto1(sawVeto, collision bool) {
+	if sawVeto || collision {
+		c.downgrade(c.k, Orange)
+	}
+}
+
+// NeedVeto2 reports whether this node must broadcast a veto in the second
+// veto phase (Figure 1 line 25: status red or orange).
+func (c *Core) NeedVeto2() bool { return c.Status(c.k) <= Orange }
+
+// Output is the result of one completed instance at one node.
+type Output struct {
+	Instance Instance
+	// History is the output history, or nil for ⊥ (non-green instances).
+	History *History
+	// Color is the final color this node assigned to the instance.
+	Color Color
+	// Floor is the garbage-collection floor at output time: positions at
+	// or below it have been folded into a checkpoint and are absent from
+	// History (always 0 without checkpointing).
+	Floor Instance
+}
+
+// Decided reports whether the instance produced a history (≠ ⊥).
+func (o Output) Decided() bool { return o.History != nil }
+
+// ObserveVeto2 closes the second veto phase and the instance (Figure 1
+// lines 36–45): a veto or collision downgrades to (at most) yellow; good
+// instances advance the prev-instance pointer; the history is calculated;
+// and the output is the history if the instance stayed green, ⊥ otherwise.
+func (c *Core) ObserveVeto2(sawVeto, collision bool) Output {
+	if sawVeto || collision {
+		c.downgrade(c.k, Yellow)
+	}
+	st := c.Status(c.k)
+	if st.Good() {
+		c.prev = c.k
+	}
+	h := c.calculateHistory(c.k, c.prev)
+	out := Output{Instance: c.k, Color: st, Floor: c.floor}
+	if st == Green {
+		out.History = h
+	}
+	return out
+}
+
+// CalculateHistory computes this node's current best history estimate:
+// the chain of prev-instance pointers starting from its own prev pointer,
+// evaluated at the current instance. The virtual-node emulation uses it to
+// materialize the virtual node's state between outputs (Section 3.3).
+func (c *Core) CalculateHistory() *History {
+	return c.calculateHistory(c.k, c.prev)
+}
+
+// calculateHistory is the calculate-history function of Figure 1
+// lines 46–54: walk from instance down to the GC floor, adopting the
+// ballot value wherever the chain of prev pointers passes, ⊥ elsewhere.
+func (c *Core) calculateHistory(instance, prev Instance) *History {
+	h := &History{top: instance, vals: make(map[Instance]Value)}
+	p := prev
+	for k := instance; k > c.floor; k-- {
+		if k != p {
+			continue
+		}
+		b, ok := c.ballots[k]
+		if !ok {
+			// With complete collision detectors this cannot happen
+			// (Lemma 6: an instance on the chain is designated good by
+			// some node, hence not red by any, hence every node adopted
+			// its ballot). Count it and stop the walk.
+			c.BrokenChains++
+			break
+		}
+		h.vals[k] = b.V
+		p = b.Prev
+	}
+	return h
+}
+
+// Retained returns the number of per-instance entries currently held — the
+// local space usage that Section 3.5's checkpointing bounds.
+func (c *Core) Retained() int {
+	return len(c.status) + len(c.ballots)
+}
+
+// GC garbage-collects all per-instance state below instance upTo
+// (Section 3.5). It is only safe to call when this node designated upTo
+// green: a green instance is on every future history chain (Lemma 9), so
+// earlier ballots can never be dereferenced again. Histories calculated
+// after GC contain only instances above the floor; callers carry the folded
+// prefix as a checkpoint digest.
+func (c *Core) GC(upTo Instance) int {
+	removed := 0
+	for k := range c.status {
+		if k < upTo {
+			delete(c.status, k)
+			removed++
+		}
+	}
+	for k := range c.ballots {
+		if k < upTo {
+			delete(c.ballots, k)
+			removed++
+		}
+	}
+	if upTo-1 > c.floor {
+		c.floor = upTo - 1
+	}
+	return removed
+}
+
+// Floor returns the GC floor: instances at or below it have been folded
+// into the checkpoint and are no longer materialized in histories.
+func (c *Core) Floor() Instance { return c.floor }
+
+// ResetAt reinitializes the state machine as of instance k: all prior
+// instances are treated as folded away (floor = k) and the next instance
+// begun must be k+1. It is the agreement-layer half of the virtual node
+// reset protocol (Section 4.3).
+func (c *Core) ResetAt(k Instance) {
+	c.k = k
+	c.prev = 0
+	c.floor = k
+	c.status = make(map[Instance]Color)
+	c.ballots = make(map[Instance]Ballot)
+}
+
+// CoreSnapshot is a serializable copy of a Core's per-instance state above
+// its floor, used for join state transfer (Section 4.3). Entries are sorted
+// by instance so snapshots of equal cores are deeply equal.
+type CoreSnapshot struct {
+	Floor, K, Prev Instance
+	BallotKeys     []Instance
+	Ballots        []Ballot
+	StatusKeys     []Instance
+	Statuses       []Color
+}
+
+// WireSize returns the accounted size of the snapshot on the wire.
+func (s CoreSnapshot) WireSize() int {
+	size := 3 * 8
+	for _, b := range s.Ballots {
+		size += 8 + 8 + len(b.V)
+	}
+	size += len(s.Statuses) * 9
+	return size
+}
+
+// Snapshot captures the core's current state.
+func (c *Core) Snapshot() CoreSnapshot {
+	s := CoreSnapshot{Floor: c.floor, K: c.k, Prev: c.prev}
+	s.BallotKeys = sortedKeys(c.ballots)
+	s.Ballots = make([]Ballot, len(s.BallotKeys))
+	for i, k := range s.BallotKeys {
+		s.Ballots[i] = c.ballots[k]
+	}
+	s.StatusKeys = sortedKeys(c.status)
+	s.Statuses = make([]Color, len(s.StatusKeys))
+	for i, k := range s.StatusKeys {
+		s.Statuses[i] = c.status[k]
+	}
+	return s
+}
+
+// RestoreCore builds a Core from a snapshot (the joiner's side of state
+// transfer).
+func RestoreCore(s CoreSnapshot) *Core {
+	c := NewCore()
+	c.floor = s.Floor
+	c.k = s.K
+	c.prev = s.Prev
+	for i, k := range s.BallotKeys {
+		c.ballots[k] = s.Ballots[i]
+	}
+	for i, k := range s.StatusKeys {
+		c.status[k] = s.Statuses[i]
+	}
+	return c
+}
+
+func sortedKeys[V any](m map[Instance]V) []Instance {
+	keys := make([]Instance, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,234 @@
+// Package cha implements Convergent History Agreement (CHA), the paper's
+// core contribution (Section 3): an iterated agreement abstraction for
+// collision-prone single-hop radio networks, and CHAP, the protocol of
+// Figure 1 that solves it in three communication rounds per instance with
+// constant-size messages.
+//
+// Each agreement instance k either outputs a history — a partial map from
+// instance indexes to values — or ⊥. The guarantees (Section 3.2) are:
+//
+//   - Validity: every value in an output history was proposed for the
+//     corresponding instance.
+//   - Agreement: any two output histories agree on their common prefix.
+//   - Liveness: once the channel, collision detectors, and contention
+//     manager stabilize, every instance outputs a history that includes
+//     every instance since stabilization.
+package cha
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Value is a proposal value, an element of the totally ordered domain V.
+// The ordering is the string ordering; the empty string is a legal value
+// (distinct from ⊥, which is represented by absence).
+type Value string
+
+// Instance indexes an agreement instance; instances are numbered from 1.
+// Instance 0 is the sentinel meaning "no instance" (the initial
+// prev-instance of Figure 1).
+type Instance int
+
+// Color is the per-instance status lattice of CHAP (Figure 1):
+// red < orange < yellow < green. A node's color for an instance reflects
+// its local knowledge about other nodes' knowledge of the instance;
+// downgrades move toward red via min, and the protocol maintains that no
+// two nodes' colors for the same instance differ by more than one shade
+// (Property 4 / Lemma 5).
+type Color uint8
+
+// Colors, in lattice order.
+const (
+	Red Color = iota + 1
+	Orange
+	Yellow
+	Green
+)
+
+// String implements fmt.Stringer.
+func (c Color) String() string {
+	switch c {
+	case Red:
+		return "red"
+	case Orange:
+		return "orange"
+	case Yellow:
+		return "yellow"
+	case Green:
+		return "green"
+	default:
+		return fmt.Sprintf("color(%d)", uint8(c))
+	}
+}
+
+// Good reports whether the color designates a good instance (yellow or
+// green), i.e. one at which the prev-instance pointer advances.
+func (c Color) Good() bool { return c >= Yellow }
+
+// minColor returns the darker (smaller) of two colors — the downgrade
+// operation of Figure 1 lines 35 and 38.
+func minColor(a, b Color) Color {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Ballot is the constant-size ballot message payload of Figure 1 line 16:
+// the proposal for the current instance together with the broadcaster's
+// prev-instance pointer.
+type Ballot struct {
+	V    Value
+	Prev Instance
+}
+
+// Less orders ballots lexicographically by (V, Prev); CHAP receivers adopt
+// the minimum ballot deterministically (Figure 1 line 32).
+func (b Ballot) Less(o Ballot) bool {
+	if b.V != o.V {
+		return b.V < o.V
+	}
+	return b.Prev < o.Prev
+}
+
+// MinBallot returns the minimum of a non-empty ballot set.
+func MinBallot(bs []Ballot) Ballot {
+	min := bs[0]
+	for _, b := range bs[1:] {
+		if b.Less(min) {
+			min = b
+		}
+	}
+	return min
+}
+
+// History is an output of a CHA instance: a function from instances
+// 1..Top() to Value-or-⊥, represented sparsely (absent = ⊥). Histories are
+// immutable once published by the protocol.
+type History struct {
+	top  Instance
+	vals map[Instance]Value
+}
+
+// NewHistory builds a history with the given top instance and entries; it
+// is exported for tests and for baseline implementations.
+func NewHistory(top Instance, vals map[Instance]Value) *History {
+	cp := make(map[Instance]Value, len(vals))
+	for k, v := range vals {
+		if k >= 1 && k <= top {
+			cp[k] = v
+		}
+	}
+	return &History{top: top, vals: cp}
+}
+
+// Top returns the instance this history was output for; entries beyond Top
+// are undefined.
+func (h *History) Top() Instance { return h.top }
+
+// At returns the value at instance k and whether the history includes k
+// (false means ⊥).
+func (h *History) At(k Instance) (Value, bool) {
+	v, ok := h.vals[k]
+	return v, ok
+}
+
+// Includes reports whether h(k) != ⊥.
+func (h *History) Includes(k Instance) bool {
+	_, ok := h.vals[k]
+	return ok
+}
+
+// Included returns the included instances in increasing order.
+func (h *History) Included() []Instance {
+	out := make([]Instance, 0, len(h.vals))
+	for k := range h.vals {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of included instances.
+func (h *History) Len() int { return len(h.vals) }
+
+// PrefixEqual reports whether h and o agree on every instance up to and
+// including k (both the included values and the ⊥ positions) — the
+// Agreement relation of Section 3.2.
+func (h *History) PrefixEqual(o *History, k Instance) bool {
+	for i := Instance(1); i <= k; i++ {
+		v1, ok1 := h.At(i)
+		v2, ok2 := o.At(i)
+		if ok1 != ok2 || v1 != v2 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldPosition chains one history position into a running digest. Because
+// the digest is a strict position-by-position fold, folding a history in
+// segments (as the checkpointing variant does, Section 3.5) produces the
+// same value as folding it in one pass.
+func foldPosition(d uint64, k Instance, v Value, present bool) uint64 {
+	hash := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		hash.Write(buf[:])
+	}
+	writeU64(d)
+	writeU64(uint64(k))
+	if present {
+		hash.Write([]byte{1})
+		hash.Write([]byte(v))
+	} else {
+		hash.Write([]byte{0})
+	}
+	return hash.Sum64()
+}
+
+// DigestRange folds positions from..to (inclusive, ⊥ positions included)
+// into a 64-bit digest seeded by prior. Chaining segment digests equals a
+// single-pass digest over the union.
+func (h *History) DigestRange(from, to Instance, prior uint64) uint64 {
+	d := prior
+	for i := from; i <= to; i++ {
+		v, ok := h.At(i)
+		d = foldPosition(d, i, v, ok)
+	}
+	return d
+}
+
+// DigestUpTo folds the history's prefix up to and including k into a
+// 64-bit digest, seeded by prior. It is the checkpoint digest of the
+// garbage-collected variant (Section 3.5).
+func (h *History) DigestUpTo(k Instance, prior uint64) uint64 {
+	return h.DigestRange(1, k, prior)
+}
+
+// Digest folds the entire history (up to Top) into a 64-bit digest.
+func (h *History) Digest() uint64 { return h.DigestUpTo(h.top, 0) }
+
+// String renders the history as e.g. "[1:a 2:⊥ 3:b]" for diagnostics.
+func (h *History) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := Instance(1); i <= h.top; i++ {
+		if i > 1 {
+			sb.WriteByte(' ')
+		}
+		if v, ok := h.At(i); ok {
+			fmt.Fprintf(&sb, "%d:%s", i, string(v))
+		} else {
+			fmt.Fprintf(&sb, "%d:⊥", i)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

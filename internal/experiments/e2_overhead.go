@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"vinfra/internal/baseline"
+	"vinfra/internal/cd"
+	"vinfra/internal/cha"
+	"vinfra/internal/cm"
+	"vinfra/internal/metrics"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+)
+
+// OverheadVsN measures CHAP's rounds-per-instance and maximum message size
+// as the number of nodes grows (Theorem 14: both constant in n), alongside
+// the majority-RSM baseline's rounds per decision (Θ(n), Section 1.5).
+func OverheadVsN(ns []int, instances int) *metrics.Table {
+	t := metrics.NewTable("E2a — Theorem 14: overhead vs number of nodes n",
+		"n", "CHAP rounds/inst", "CHAP max msg B", "RSM rounds/decision", "RSM max msg B")
+	for _, n := range ns {
+		c := newCluster(clusterOpts{n: n, fixedWidth: true})
+		c.runInstances(instances)
+		st := c.eng.Stats()
+		chapRounds := float64(st.Rounds) / float64(instances)
+
+		rsmRounds, rsmMsg := rsmRoundsPerDecision(n, instances, nil, 1)
+		t.AddRow(metrics.D(n), metrics.F(chapRounds), metrics.D(st.MaxMessageSize),
+			metrics.F(rsmRounds), metrics.D(rsmMsg))
+	}
+	t.Notes = "CHAP flat at 3 rounds and constant bytes; majority RSM grows linearly with n"
+	return t
+}
+
+// OverheadVsLength measures the maximum message size of CHAP and the
+// full-history naive baseline as the execution length grows (Theorem 14:
+// CHAP constant, naive Θ(L)).
+func OverheadVsLength(lengths []int) *metrics.Table {
+	t := metrics.NewTable("E2b — Theorem 14: message size vs execution length L",
+		"L (instances)", "CHAP max msg B", "naive max msg B")
+	for _, l := range lengths {
+		c := newCluster(clusterOpts{n: 4, fixedWidth: true})
+		c.runInstances(l)
+		chapMax := c.eng.Stats().MaxMessageSize
+
+		naiveMax := naiveMaxMessage(4, l)
+		t.AddRow(metrics.D(l), metrics.D(chapMax), metrics.D(naiveMax))
+	}
+	t.Notes = "the naive protocol ships the whole history in every ballot"
+	return t
+}
+
+// naiveMaxMessage runs the full-history baseline for l instances and
+// returns the largest message observed.
+func naiveMaxMessage(n, l int) int {
+	medium := radio.MustMedium(radio.Config{Radii: Radii, Detector: cd.AC{}})
+	eng := sim.NewEngine(medium)
+	factory, _ := cm.NewFixed(0)
+	for i, pos := range ring(n, 2) {
+		i := i
+		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
+			return baseline.NewNaiveReplica(baseline.NaiveConfig{
+				Propose: func(k cha.Instance) cha.Value {
+					return cha.Value(fmt.Sprintf("%06d-%02d", k, i))
+				},
+				CM: factory(env),
+			})
+		})
+	}
+	eng.Run(l * cha.RoundsPerInstance)
+	return eng.Stats().MaxMessageSize
+}
+
+// rsmRoundsPerDecision runs the majority-RSM baseline and returns the mean
+// rounds per committed slot plus the max message size.
+func rsmRoundsPerDecision(n, slots int, adv radio.Adversary, seed int64) (float64, int) {
+	medium := radio.MustMedium(radio.Config{Radii: Radii, Detector: cd.AC{}, Adversary: adv, Seed: seed})
+	eng := sim.NewEngine(medium, sim.WithSeed(seed))
+	var leader *baseline.MajorityRSM
+	for i, pos := range ring(n, 2) {
+		i := i
+		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
+			node := baseline.NewMajorityRSM(baseline.RSMConfig{
+				N:           n,
+				Index:       i,
+				LeaderIndex: 0,
+				Propose:     func(k int) string { return fmt.Sprintf("cmd-%06d", k) },
+			})
+			if i == 0 {
+				leader = node
+			}
+			return node
+		})
+	}
+	eng.Run(slots * baseline.AttemptRounds(n) * 2)
+	var s metrics.Series
+	for _, r := range leader.RoundsPerCommit {
+		s.AddInt(r)
+	}
+	if s.N() == 0 {
+		return math.Inf(1), eng.Stats().MaxMessageSize
+	}
+	return s.Mean(), eng.Stats().MaxMessageSize
+}
+
+// RoundsUnderLoss compares effective rounds per decided instance for CHAP
+// against rounds per committed slot for the RSM when the channel drops
+// messages: CHAP instances cost 3 rounds and fail independently (the next
+// instance is a fresh chance), while RSM attempts serialize.
+func RoundsUnderLoss(n int, lossRates []float64, instances int) *metrics.Table {
+	t := metrics.NewTable("E2c — rounds per decided instance under message loss",
+		"loss p", "CHAP rounds/decided", "CHAP decided rate", "RSM rounds/commit")
+	for _, p := range lossRates {
+		adv := radio.NewRandomLoss(p, 0, cd.Never, 77)
+		c := newCluster(clusterOpts{
+			n:         n,
+			detector:  cd.EventuallyAC{Racc: cd.Never},
+			adversary: adv,
+			seed:      11,
+		})
+		c.runInstances(instances)
+		rep := c.rec.Report()
+		chap := math.Inf(1)
+		if rep.DecidedRate > 0 {
+			chap = float64(cha.RoundsPerInstance) / rep.DecidedRate
+		}
+
+		rsm, _ := rsmRoundsPerDecision(n, instances, radio.NewRandomLoss(p, 0, cd.Never, 78), 12)
+		t.AddRow(fmt.Sprintf("%.1f", p), metrics.F(chap), metrics.F(rep.DecidedRate), metrics.F(rsm))
+	}
+	t.Notes = "loss applied forever (r_cf = infinity); CHAP safety holds throughout"
+	return t
+}

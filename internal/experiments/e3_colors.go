@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vinfra/internal/cd"
+	"vinfra/internal/cha"
+	"vinfra/internal/metrics"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+)
+
+// ColorCensus counts the final colors every node assigned across an
+// adversarial run, plus the per-instance spread.
+type ColorCensus struct {
+	mu     sync.Mutex
+	counts map[cha.Color]int
+	total  int
+}
+
+func newColorCensus() *ColorCensus {
+	return &ColorCensus{counts: make(map[cha.Color]int)}
+}
+
+func (cc *ColorCensus) record(out cha.Output) {
+	cc.mu.Lock()
+	cc.counts[out.Color]++
+	cc.total++
+	cc.mu.Unlock()
+}
+
+func (cc *ColorCensus) fraction(c cha.Color) float64 {
+	if cc.total == 0 {
+		return 0
+	}
+	return float64(cc.counts[c]) / float64(cc.total)
+}
+
+// ColorSpread sweeps the adversary's loss rate and reports the color
+// distribution plus the maximum per-instance spread — Property 4 / Lemma 5
+// require the spread to never exceed one shade.
+func ColorSpread(n int, lossRates []float64, instances int) *metrics.Table {
+	t := metrics.NewTable("E3 — Property 4: color distribution and spread vs loss rate",
+		"loss p", "green", "yellow", "orange", "red", "max spread", "violations")
+	for i, p := range lossRates {
+		seed := int64(i*31 + 5)
+		census := newColorCensus()
+		adv := radio.NewRandomLoss(p, p/2, cd.Never, seed)
+		c := newCluster(clusterOpts{
+			n:         n,
+			detector:  cd.EventuallyAC{Racc: cd.Never, FalsePositiveRate: p / 4},
+			adversary: adv,
+			seed:      seed,
+		})
+		// Observe colors through the engine round hook: read each
+		// replica's color for the instance at the end of its veto-2 round.
+		c.eng.OnRound(func(r sim.Round, _ []sim.Transmission, _ []sim.Reception) {
+			k, phase := cha.PhaseOf(r)
+			if phase != cha.PhaseVeto2 {
+				return
+			}
+			for _, rep := range c.replicas {
+				census.record(cha.Output{Instance: k, Color: rep.Core().Status(k)})
+			}
+		})
+		c.runInstances(instances)
+		rep := c.rec.Report()
+		t.AddRow(fmt.Sprintf("%.1f", p),
+			metrics.F(census.fraction(cha.Green)),
+			metrics.F(census.fraction(cha.Yellow)),
+			metrics.F(census.fraction(cha.Orange)),
+			metrics.F(census.fraction(cha.Red)),
+			metrics.D(rep.MaxColorSpread),
+			metrics.D(rep.ColorSpreadViolations))
+	}
+	t.Notes = "spread must never exceed 1 (Lemma 5); violations must be 0"
+	return t
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vinfra/internal/cd"
+	"vinfra/internal/cha"
+	"vinfra/internal/metrics"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+)
+
+// CorrectnessCampaign runs a randomized adversarial campaign and verifies
+// the CHA guarantees: agreement and validity must never be violated
+// (Theorems 10, 13), the color spread must stay within one shade
+// (Property 4), and after the channel stabilizes, liveness must hold with a
+// stabilization instance tracking r_cf (Theorem 12).
+func CorrectnessCampaign(seeds int, rcfs []sim.Round, instancesAfter int) *metrics.Table {
+	t := metrics.NewTable("E4 — Theorems 10/12/13: randomized adversarial campaign",
+		"r_cf", "runs", "agreement viol", "validity viol", "spread viol", "liveness ok", "mean k_st", "bound k_cf+2")
+	for _, rcf := range rcfs {
+		var agr, val, spread, live int
+		var kst metrics.Series
+		for s := 0; s < seeds; s++ {
+			seed := int64(s*97 + 13)
+			n := 3 + s%5
+			p := 0.2 + 0.1*float64(s%6)
+			c := newCluster(clusterOpts{
+				n:         n,
+				detector:  cd.EventuallyAC{Racc: rcf, FalsePositiveRate: p / 2},
+				adversary: radio.NewRandomLoss(p, p/2, rcf, seed*7),
+				seed:      seed,
+			})
+			c.runInstances(int(rcf)/cha.RoundsPerInstance + instancesAfter)
+			rep := c.rec.Report()
+			agr += rep.AgreementViolations
+			val += rep.ValidityViolations
+			spread += rep.ColorSpreadViolations
+			if rep.LivenessOK {
+				live++
+				kst.AddInt(int(rep.Stabilization))
+			}
+		}
+		bound := int(rcf)/cha.RoundsPerInstance + 2
+		t.AddRow(metrics.D(int(rcf)), metrics.D(seeds), metrics.D(agr), metrics.D(val),
+			metrics.D(spread), fmt.Sprintf("%d/%d", live, seeds), metrics.F(kst.Mean()), metrics.D(bound))
+	}
+	t.Notes = "violations must be 0; k_st is the first instance after which every node decides every instance"
+	return t
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"vinfra/internal/cd"
+	"vinfra/internal/cm"
+	"vinfra/internal/metrics"
+	"vinfra/internal/radio"
+)
+
+// DetectorAblation compares collision detector classes under sustained
+// loss: the paper requires completeness for safety and eventual accuracy
+// for liveness; this table shows what breaks when each is removed.
+func DetectorAblation(instances int) *metrics.Table {
+	t := metrics.NewTable("E8a — collision detector ablation (loss p=0.4 before r_cf=90, then clean)",
+		"detector", "decided rate", "agreement viol", "broken chains", "liveness")
+	const rcf = 90
+	cases := []struct {
+		name string
+		det  cd.Detector
+	}{
+		{"AC (always accurate)", cd.AC{}},
+		{"eventually-AC (paper)", cd.EventuallyAC{Racc: rcf, FalsePositiveRate: 0.2}},
+		{"complete, never accurate", cd.Complete{FalsePositiveRate: 0.2}},
+		{"null (no detection)", cd.Null{}},
+	}
+	for i, tc := range cases {
+		seed := int64(i*13 + 3)
+		agr, broken := 0, 0
+		var decided metrics.Series
+		live := 0
+		const runs = 5
+		for run := 0; run < runs; run++ {
+			c := newCluster(clusterOpts{
+				n:         4,
+				detector:  tc.det,
+				adversary: radio.NewRandomLoss(0.4, 0.1, rcf, seed+int64(run)*101),
+				seed:      seed + int64(run),
+			})
+			c.runInstances(instances)
+			rep := c.rec.Report()
+			agr += rep.AgreementViolations
+			decided.Add(rep.DecidedRate)
+			if rep.LivenessOK {
+				live++
+			}
+			for _, r := range c.replicas {
+				broken += r.Core().BrokenChains
+			}
+		}
+		liveness := "ok"
+		if live < runs {
+			liveness = "degraded"
+		}
+		t.AddRow(tc.name, metrics.F(decided.Mean()), metrics.D(agr), metrics.D(broken), liveness)
+	}
+	t.Notes = "null detector violates completeness -> safety breaks; never-accurate detector keeps safety but hurts liveness"
+	return t
+}
+
+// CMAblation compares contention managers: the oracle gives the best-case
+// stabilization; randomized backoff pays an election delay but needs no
+// global knowledge (Property 3's "eventually").
+func CMAblation(instances int) *metrics.Table {
+	t := metrics.NewTable("E8b — contention manager ablation (clean channel)",
+		"contention manager", "n", "stabilization k_st", "decided rate")
+	for _, n := range []int{2, 4, 8} {
+		for _, mgr := range []string{"oracle", "backoff"} {
+			var factory cm.Factory
+			if mgr == "oracle" {
+				factory, _ = cm.NewFixed(0)
+			} else {
+				factory = cm.NewBackoff(cm.BackoffConfig{})
+			}
+			c := newCluster(clusterOpts{n: n, cmFactory: factory, seed: int64(n)})
+			c.runInstances(instances)
+			rep := c.rec.Report()
+			stab := "-"
+			if rep.LivenessOK {
+				stab = metrics.D(int(rep.Stabilization))
+			}
+			t.AddRow(mgr, metrics.D(n), stab, metrics.F(rep.DecidedRate))
+		}
+	}
+	t.Notes = "oracle stabilizes at instance 1; backoff stabilizes after leader election settles"
+	return t
+}
+
+// CheckpointAblation compares local space usage of plain CHAP against the
+// checkpointed variant of Section 3.5 over a long execution.
+func CheckpointAblation(lengths []int) *metrics.Table {
+	t := metrics.NewTable("E8c — Section 3.5 garbage collection: retained entries vs execution length",
+		"L (instances)", "plain retained", "checkpointed retained", "checkpoint digest agreement")
+	for _, l := range lengths {
+		plain := newCluster(clusterOpts{n: 3, seed: 2})
+		plain.runInstances(l)
+		plainMax := 0
+		for _, r := range plain.replicas {
+			if got := r.Core().Retained(); got > plainMax {
+				plainMax = got
+			}
+		}
+
+		ckpt := newCluster(clusterOpts{n: 3, seed: 2, checkpoint: true})
+		ckpt.runInstances(l)
+		ckptMax := 0
+		agree := true
+		first := ckpt.replicas[0].Checkpoint()
+		for _, r := range ckpt.replicas {
+			if got := r.Core().Retained(); got > ckptMax {
+				ckptMax = got
+			}
+			if r.Checkpoint() != first {
+				agree = false
+			}
+		}
+		t.AddRow(metrics.D(l), metrics.D(plainMax), metrics.D(ckptMax), metrics.B(agree))
+	}
+	t.Notes = "plain grows linearly; checkpointed stays constant while instances go green"
+	return t
+}

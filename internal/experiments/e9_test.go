@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRoutingLatencyDeliversEverything(t *testing.T) {
+	tb := RoutingLatency([]int{2, 4}, 3)
+	if tb.NumRows() != 2 {
+		t.Fatal("row count")
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && (fields[0] == "2" || fields[0] == "4") {
+			if fields[2] != "3/3" {
+				t.Errorf("packets lost: %q", line)
+			}
+		}
+	}
+}
+
+func TestRoutingLatencyGrowsWithHops(t *testing.T) {
+	tb := RoutingLatency([]int{2, 5}, 2)
+	var sb strings.Builder
+	tb.Render(&sb)
+	var lats []float64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && (fields[0] == "2" || fields[0] == "5") {
+			var v float64
+			if _, err := fmtSscan(fields[3], &v); err == nil {
+				lats = append(lats, v)
+			}
+		}
+	}
+	if len(lats) == 2 && lats[1] <= lats[0] {
+		t.Errorf("latency should grow with chain length: %v", lats)
+	}
+}
+
+func TestLockThroughputNoViolations(t *testing.T) {
+	tb := LockThroughput([]int{2, 4}, 50)
+	if tb.NumRows() != 2 {
+		t.Fatal("row count")
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && (fields[0] == "2" || fields[0] == "4") {
+			if fields[3] != "0" {
+				t.Errorf("mutex violations: %q", line)
+			}
+			if fields[1] == "0" {
+				t.Errorf("no lock cycles completed: %q", line)
+			}
+		}
+	}
+}
+
+// fmtSscan wraps fmt.Sscan for the latency parse above.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

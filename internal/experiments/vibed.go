@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vinfra/internal/cd"
+	"vinfra/internal/cha"
+	"vinfra/internal/cm"
+	"vinfra/internal/geo"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+)
+
+// viCounterProgram is the reference virtual node program for the VI
+// experiments: it counts client messages and broadcasts the count when
+// scheduled.
+type viCounterState struct {
+	Pings int
+}
+
+func viCounterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
+	return func(v vi.VNodeID) vi.Program {
+		return vi.Codec[viCounterState]{
+			InitState: func(vi.VNodeID, geo.Point) viCounterState { return viCounterState{} },
+			Step: func(s viCounterState, _ int, in vi.RoundInput) viCounterState {
+				s.Pings += len(in.Msgs)
+				return s
+			},
+			Out: func(s viCounterState, vround int) *vi.Message {
+				if !sched.ScheduledIn(v, vround-1) {
+					return nil
+				}
+				return &vi.Message{Payload: fmt.Sprintf("count=%d", s.Pings)}
+			},
+		}
+	}
+}
+
+// viBed is a full virtual infrastructure deployment wired for measurement.
+type viBed struct {
+	eng       *sim.Engine
+	dep       *vi.Deployment
+	emulators []*vi.Emulator
+
+	mu     sync.Mutex
+	greens map[vi.VNodeID]map[cha.Instance]bool // instances with >= 1 green replica
+	total  map[vi.VNodeID]cha.Instance
+}
+
+type viBedOpts struct {
+	locs        []geo.Point
+	replicasPer int
+	seed        int64
+	fixedLeader bool
+	adversary   radio.Adversary
+	detector    cd.Detector
+}
+
+func newVIBed(o viBedOpts) *viBed {
+	if o.detector == nil {
+		o.detector = cd.AC{}
+	}
+	if o.seed == 0 {
+		o.seed = 1
+	}
+	sched := vi.BuildSchedule(o.locs, Radii)
+	cfg := vi.DeploymentConfig{
+		Locations: o.locs,
+		Radii:     Radii,
+		Program:   viCounterProgram(sched),
+	}
+	if o.fixedLeader {
+		leaders := make(map[vi.VNodeID]sim.NodeID, len(o.locs))
+		for v := range o.locs {
+			leaders[vi.VNodeID(v)] = sim.NodeID(v * o.replicasPer)
+		}
+		cfg.NewCM = func(v vi.VNodeID, env sim.Env) cm.Manager {
+			factory, _ := cm.NewFixed(leaders[v])
+			return factory(env)
+		}
+	}
+	dep, err := vi.NewDeployment(cfg)
+	if err != nil {
+		panic(err)
+	}
+	medium := radio.MustMedium(radio.Config{
+		Radii:     Radii,
+		Detector:  o.detector,
+		Adversary: o.adversary,
+		Seed:      o.seed,
+	})
+	bed := &viBed{
+		eng:    sim.NewEngine(medium, sim.WithSeed(o.seed)),
+		dep:    dep,
+		greens: make(map[vi.VNodeID]map[cha.Instance]bool),
+		total:  make(map[vi.VNodeID]cha.Instance),
+	}
+	for v, loc := range o.locs {
+		for i := 0; i < o.replicasPer; i++ {
+			pos := geo.Point{X: loc.X + 0.3*float64(i) - 0.5, Y: loc.Y + 0.2}
+			bed.attachEmulator(pos, true)
+		}
+		_ = v
+	}
+	return bed
+}
+
+// recordOutput tracks per-virtual-node green instances for availability.
+func (b *viBed) recordOutput(v vi.VNodeID, out cha.Output) {
+	b.mu.Lock()
+	if b.greens[v] == nil {
+		b.greens[v] = make(map[cha.Instance]bool)
+	}
+	if out.Color == cha.Green {
+		b.greens[v][out.Instance] = true
+	}
+	if out.Instance > b.total[v] {
+		b.total[v] = out.Instance
+	}
+	b.mu.Unlock()
+}
+
+// attachEmulator adds an emulator (optionally bootstrapped) with green
+// tracking hooks merged with the given extra hooks, and returns it.
+func (b *viBed) attachEmulator(pos geo.Point, bootstrap bool, extra ...vi.EmulatorHooks) *vi.Emulator {
+	var em *vi.Emulator
+	hooks := vi.EmulatorHooks{OnOutput: b.recordOutput}
+	if len(extra) > 0 {
+		x := extra[0]
+		hooks.OnOutput = func(v vi.VNodeID, out cha.Output) {
+			b.recordOutput(v, out)
+			if x.OnOutput != nil {
+				x.OnOutput(v, out)
+			}
+		}
+		hooks.OnJoin = x.OnJoin
+		hooks.OnReset = x.OnReset
+	}
+	b.eng.Attach(pos, nil, func(env sim.Env) sim.Node {
+		em = b.dep.NewEmulator(env, bootstrap)
+		em.SetHooks(hooks)
+		b.emulators = append(b.emulators, em)
+		return em
+	})
+	return em
+}
+
+// addPinger attaches a client that pings every virtual round from pos.
+func (b *viBed) addPinger(pos geo.Point) {
+	b.eng.Attach(pos, nil, func(env sim.Env) sim.Node {
+		return b.dep.NewClient(env, vi.ClientFunc(
+			func(vr int, _ []vi.Message, _ bool) *vi.Message {
+				return &vi.Message{Payload: fmt.Sprintf("ping-%04d", vr)}
+			}))
+	})
+}
+
+func (b *viBed) runVRounds(n int) {
+	b.eng.Run(n * b.dep.Timing().RoundsPerVRound())
+}
+
+// availability returns the fraction of virtual rounds in which at least
+// one replica of virtual node v reached green.
+func (b *viBed) availability(v vi.VNodeID) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.total[v] == 0 {
+		return 0
+	}
+	return float64(len(b.greens[v])) / float64(b.total[v])
+}
+
+// meanAvailability averages availability over all virtual nodes.
+func (b *viBed) meanAvailability() float64 {
+	sum := 0.0
+	for v := 0; v < b.dep.NumVNodes(); v++ {
+		sum += b.availability(vi.VNodeID(v))
+	}
+	return sum / float64(b.dep.NumVNodes())
+}

@@ -1,0 +1,190 @@
+// Package radio implements the collision-prone wireless medium of Section 2:
+// a quasi-unit-disk channel in which a receiver hears a broadcast iff the
+// transmitter is within broadcast radius R1 and no other node within
+// interference radius R2 of the receiver broadcasts in the same slot.
+// Before the collision-freedom round r_cf, an Adversary may additionally
+// drop arbitrary messages at arbitrary receivers (non-uniformly), and force
+// spurious collision-detector indications (which the configured cd.Detector
+// suppresses once it becomes accurate).
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vinfra/internal/cd"
+	"vinfra/internal/geo"
+	"vinfra/internal/sim"
+)
+
+// Adversary injects the arbitrary, unpredictable message loss the model
+// permits before round r_cf. Implementations carry their own horizon and
+// must become harmless (identity Filter, no forced collisions) from r_cf
+// onward.
+type Adversary interface {
+	// Filter returns the subset of deliverable transmissions actually
+	// delivered to receiver in round r. deliverable never includes the
+	// receiver's own transmission (a node always hears itself).
+	// Implementations must not mutate deliverable; they may return it
+	// unchanged.
+	Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Transmission) []sim.Transmission
+	// ForceCollision reports whether to request a spurious collision
+	// indication at receiver in round r.
+	ForceCollision(r sim.Round, receiver sim.NodeID) bool
+}
+
+// Config parameterizes a Medium.
+type Config struct {
+	Radii    geo.Radii
+	Detector cd.Detector
+	// Adversary may be nil for a well-behaved channel.
+	Adversary Adversary
+	// GrayZoneDeliveryProb is the probability that an uncontended
+	// transmission from the gray zone (between R1 and R2) is delivered
+	// anyway. The quasi-unit-disk model leaves this region unspecified;
+	// the default 0 is the conservative reading.
+	GrayZoneDeliveryProb float64
+	// Seed drives the medium's own randomness (gray-zone delivery and
+	// detector noise). Defaults to 1 via NewMedium.
+	Seed int64
+}
+
+// Medium implements sim.Medium with quasi-unit-disk propagation and
+// collision-detector synthesis.
+type Medium struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+var _ sim.Medium = (*Medium)(nil)
+
+// NewMedium validates cfg and returns a Medium.
+func NewMedium(cfg Config) (*Medium, error) {
+	if err := cfg.Radii.Validate(); err != nil {
+		return nil, fmt.Errorf("radio: %w", err)
+	}
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("radio: config requires a collision detector")
+	}
+	if cfg.GrayZoneDeliveryProb < 0 || cfg.GrayZoneDeliveryProb > 1 {
+		return nil, fmt.Errorf("radio: GrayZoneDeliveryProb = %v out of [0,1]", cfg.GrayZoneDeliveryProb)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Medium{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// MustMedium is NewMedium for static configurations known to be valid; it
+// panics on error. Intended for tests, examples and benchmarks.
+func MustMedium(cfg Config) *Medium {
+	m, err := NewMedium(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Deliver implements sim.Medium. For each alive receiver it computes the
+// physically deliverable set, applies the adversary, and synthesizes the
+// collision-detector indication from the ground-truth losses.
+func (m *Medium) Deliver(r sim.Round, txs []sim.Transmission, rxs []sim.NodeInfo) []sim.Reception {
+	out := make([]sim.Reception, len(rxs))
+	for i := range rxs {
+		rx := rxs[i]
+		if !rx.Alive {
+			out[i] = sim.Reception{Round: r}
+			continue
+		}
+		out[i] = m.receive(r, txs, rx)
+	}
+	return out
+}
+
+func (m *Medium) receive(r sim.Round, txs []sim.Transmission, rx sim.NodeInfo) sim.Reception {
+	radii := m.cfg.Radii
+
+	// Partition the round's transmissions as seen from this receiver.
+	var own *sim.Transmission
+	var inR1, gray []sim.Transmission // from other nodes
+	for i := range txs {
+		tx := txs[i]
+		if tx.Sender == rx.ID {
+			own = &txs[i]
+			continue
+		}
+		d2 := tx.From.Dist2(rx.At)
+		switch {
+		case d2 <= radii.R1*radii.R1:
+			inR1 = append(inR1, tx)
+		case d2 <= radii.R2*radii.R2:
+			gray = append(gray, tx)
+		}
+	}
+	othersInR2 := len(inR1) + len(gray)
+
+	// Physical delivery: a node always hears its own broadcast. A message
+	// from another node gets through only when it is the sole transmission
+	// within R2 of the receiver AND the receiver itself is not
+	// transmitting — the delivery guarantee of Section 2 requires that "no
+	// node within distance R2 of pj broadcasts", and pj is within R2 of
+	// itself (half-duplex). Gray-zone delivery is probabilistic
+	// (default: never).
+	var deliverable []sim.Transmission
+	if othersInR2 == 1 && own == nil {
+		deliverable = append(deliverable, inR1...)
+		for _, tx := range gray {
+			if m.cfg.GrayZoneDeliveryProb > 0 && m.rng.Float64() < m.cfg.GrayZoneDeliveryProb {
+				deliverable = append(deliverable, tx)
+			}
+		}
+	}
+
+	// Adversarial loss (only effective before the adversary's horizon).
+	delivered := deliverable
+	spurious := false
+	if adv := m.cfg.Adversary; adv != nil {
+		delivered = adv.Filter(r, rx.ID, deliverable)
+		spurious = adv.ForceCollision(r, rx.ID)
+	}
+
+	// Ground truth for the collision detector: a loss is any transmission
+	// from another node within the relevant radius that was not delivered,
+	// whatever the cause (contention, gray zone, or adversary).
+	lostR1, lostR2 := false, false
+	for _, tx := range inR1 {
+		if !containsTx(delivered, tx.Sender) {
+			lostR1 = true
+			lostR2 = true
+			break
+		}
+	}
+	if !lostR2 {
+		for _, tx := range gray {
+			if !containsTx(delivered, tx.Sender) {
+				lostR2 = true
+				break
+			}
+		}
+	}
+
+	collision := m.cfg.Detector.Report(r, lostR1, lostR2, spurious, m.rng.Float64)
+
+	msgs := make([]sim.Message, 0, len(delivered)+1)
+	if own != nil {
+		msgs = append(msgs, own.Msg)
+	}
+	for _, tx := range delivered {
+		msgs = append(msgs, tx.Msg)
+	}
+	return sim.Reception{Round: r, Msgs: msgs, Collision: collision}
+}
+
+func containsTx(txs []sim.Transmission, sender sim.NodeID) bool {
+	for _, tx := range txs {
+		if tx.Sender == sender {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"vinfra/internal/geo"
+)
+
+func benchEngine(b *testing.B, nodes int, parallel bool) {
+	opts := []Option{WithSeed(1)}
+	if parallel {
+		opts = append(opts, WithParallel())
+	}
+	e := NewEngine(perfectMedium{}, opts...)
+	for i := 0; i < nodes; i++ {
+		e.Attach(geo.Point{X: float64(i)}, nil, func(env Env) Node {
+			return &echoNode{env: env}
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStep8(b *testing.B)          { benchEngine(b, 8, false) }
+func BenchmarkEngineStep64(b *testing.B)         { benchEngine(b, 64, false) }
+func BenchmarkEngineStep64Parallel(b *testing.B) { benchEngine(b, 64, true) }
+
+func BenchmarkEngineMobility(b *testing.B) {
+	e := NewEngine(perfectMedium{})
+	for i := 0; i < 32; i++ {
+		e.Attach(geo.Point{X: float64(i)}, driftMover{}, func(Env) Node {
+			return &silentNode{}
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

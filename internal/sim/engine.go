@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"vinfra/internal/geo"
+)
+
+// Engine drives a set of nodes through synchronous slotted rounds against a
+// Medium. The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	medium   Medium
+	seed     int64
+	parallel bool
+
+	round Round
+	nodes []*nodeState // indexed by NodeID
+	crash map[Round][]NodeID
+	hooks []RoundHook
+	stats Stats
+}
+
+// RoundHook observes a completed round: the transmissions that occurred and
+// the receptions delivered (indexed by NodeID). Hooks run sequentially
+// after delivery; they may record the values but must not mutate them.
+type RoundHook func(r Round, txs []Transmission, rxs []Reception)
+
+// Stats accumulates engine-level measurements used by the experiment
+// harness (the abstract cost model of Theorem 14).
+type Stats struct {
+	Rounds         int // rounds executed
+	Transmissions  int // total broadcast attempts
+	MaxMessageSize int // largest accounted message size seen
+	TotalBytes     int // sum of accounted message sizes
+}
+
+type nodeState struct {
+	id    NodeID
+	node  Node
+	pos   geo.Point
+	mover Mover
+	rng   *rand.Rand
+	alive bool
+	env   *nodeEnv
+}
+
+type nodeEnv struct {
+	st *nodeState
+}
+
+func (e *nodeEnv) ID() NodeID          { return e.st.id }
+func (e *nodeEnv) Location() geo.Point { return e.st.pos }
+func (e *nodeEnv) Intn(n int) int      { return e.st.rng.Intn(n) }
+func (e *nodeEnv) Float64() float64    { return e.st.rng.Float64() }
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSeed sets the master seed from which per-node random sources are
+// derived. The default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(e *Engine) { e.seed = seed }
+}
+
+// WithParallel runs each round's Transmit and Receive fan-out on one
+// goroutine per node. Nodes share no state, so this does not affect
+// determinism.
+func WithParallel() Option {
+	return func(e *Engine) { e.parallel = true }
+}
+
+// NewEngine returns an engine that propagates messages through medium.
+func NewEngine(medium Medium, opts ...Option) *Engine {
+	e := &Engine{
+		medium: medium,
+		seed:   1,
+		crash:  make(map[Round][]NodeID),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Attach adds a node at position pos with the given mobility model (nil for
+// static) and returns its ID. The build function receives the node's
+// environment handle; it is invoked before Attach returns. Nodes may be
+// attached mid-run (the join scenario of Section 4.3).
+func (e *Engine) Attach(pos geo.Point, mover Mover, build func(Env) Node) NodeID {
+	id := NodeID(len(e.nodes))
+	st := &nodeState{
+		id:    id,
+		pos:   pos,
+		mover: mover,
+		rng:   rand.New(rand.NewSource(mix(e.seed, int64(id)))),
+		alive: true,
+	}
+	st.env = &nodeEnv{st: st}
+	st.node = build(st.env)
+	if st.node == nil {
+		panic("sim: Attach build function returned nil Node")
+	}
+	e.nodes = append(e.nodes, st)
+	return id
+}
+
+// mix derives a well-spread per-node seed from the master seed
+// (SplitMix64 finalizer).
+func mix(seed, id int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(id)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Crash fails node id immediately: it stops transmitting and receiving from
+// the next round onward. Crashing an already-crashed node is a no-op.
+func (e *Engine) Crash(id NodeID) {
+	e.nodes[id].alive = false
+}
+
+// CrashAt schedules node id to crash at the start of round r.
+func (e *Engine) CrashAt(id NodeID, r Round) {
+	e.crash[r] = append(e.crash[r], id)
+}
+
+// Leave removes a node from the emulation (a mobile device departing a
+// region). Engine semantics are identical to Crash; the distinct name keeps
+// call sites honest about intent.
+func (e *Engine) Leave(id NodeID) {
+	e.Crash(id)
+}
+
+// Alive reports whether node id has not crashed or left.
+func (e *Engine) Alive(id NodeID) bool {
+	return e.nodes[id].alive
+}
+
+// AliveCount returns the number of alive nodes.
+func (e *Engine) AliveCount() int {
+	n := 0
+	for _, st := range e.nodes {
+		if st.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// NumNodes returns the total number of nodes ever attached.
+func (e *Engine) NumNodes() int {
+	return len(e.nodes)
+}
+
+// Position returns the current position of node id.
+func (e *Engine) Position(id NodeID) geo.Point {
+	return e.nodes[id].pos
+}
+
+// SetPosition teleports node id (used by tests and by churn generators that
+// respawn nodes in new regions).
+func (e *Engine) SetPosition(id NodeID, p geo.Point) {
+	e.nodes[id].pos = p
+}
+
+// Round returns the next round to execute.
+func (e *Engine) Round() Round {
+	return e.round
+}
+
+// OnRound registers a hook observing every completed round.
+func (e *Engine) OnRound(h RoundHook) {
+	e.hooks = append(e.hooks, h)
+}
+
+// Stats returns a copy of the accumulated engine statistics.
+func (e *Engine) Stats() Stats {
+	return e.stats
+}
+
+// Run executes n rounds.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// Step executes a single round: scheduled crashes, mobility, transmission
+// fan-out, propagation through the medium, and reception fan-out.
+func (e *Engine) Step() {
+	r := e.round
+	e.round++
+
+	for _, id := range e.crash[r] {
+		e.nodes[id].alive = false
+	}
+	delete(e.crash, r)
+
+	// Mobility: move every alive node. Per-node RNG call order within a
+	// round is fixed (Move, then Transmit), so this is deterministic.
+	for _, st := range e.nodes {
+		if st.alive && st.mover != nil {
+			st.pos = st.mover.Move(r, st.pos, st.rng.Intn)
+		}
+	}
+
+	txs := e.collectTransmissions(r)
+
+	info := make([]NodeInfo, len(e.nodes))
+	for i, st := range e.nodes {
+		info[i] = NodeInfo{ID: st.id, At: st.pos, Alive: st.alive}
+	}
+	rxs := e.medium.Deliver(r, txs, info)
+	if len(rxs) != len(e.nodes) {
+		panic(fmt.Sprintf("sim: medium returned %d receptions for %d nodes", len(rxs), len(e.nodes)))
+	}
+
+	e.deliver(r, rxs)
+
+	e.stats.Rounds++
+	e.stats.Transmissions += len(txs)
+	for _, tx := range txs {
+		sz := MessageSize(tx.Msg)
+		e.stats.TotalBytes += sz
+		if sz > e.stats.MaxMessageSize {
+			e.stats.MaxMessageSize = sz
+		}
+	}
+	for _, h := range e.hooks {
+		h(r, txs, rxs)
+	}
+}
+
+func (e *Engine) collectTransmissions(r Round) []Transmission {
+	var txs []Transmission
+	if e.parallel {
+		msgs := make([]Message, len(e.nodes))
+		var wg sync.WaitGroup
+		for _, st := range e.nodes {
+			if !st.alive {
+				continue
+			}
+			wg.Add(1)
+			go func(st *nodeState) {
+				defer wg.Done()
+				msgs[st.id] = st.node.Transmit(r)
+			}(st)
+		}
+		wg.Wait()
+		for _, st := range e.nodes {
+			if st.alive && msgs[st.id] != nil {
+				txs = append(txs, Transmission{Sender: st.id, From: st.pos, Msg: msgs[st.id]})
+			}
+		}
+		return txs
+	}
+	for _, st := range e.nodes {
+		if !st.alive {
+			continue
+		}
+		if m := st.node.Transmit(r); m != nil {
+			txs = append(txs, Transmission{Sender: st.id, From: st.pos, Msg: m})
+		}
+	}
+	return txs
+}
+
+func (e *Engine) deliver(r Round, rxs []Reception) {
+	if e.parallel {
+		var wg sync.WaitGroup
+		for _, st := range e.nodes {
+			if !st.alive {
+				continue
+			}
+			wg.Add(1)
+			go func(st *nodeState) {
+				defer wg.Done()
+				st.node.Receive(r, rxs[st.id])
+			}(st)
+		}
+		wg.Wait()
+		return
+	}
+	for _, st := range e.nodes {
+		if st.alive {
+			st.node.Receive(r, rxs[st.id])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package sim provides the slotted, synchronous round engine on which the
+// paper's protocols execute (Section 2 of Chockler, Gilbert, Lynch,
+// PODC 2008): a fixed but a-priori-unknown collection of mobile nodes
+// proceeds in lockstep rounds; in each round a node either broadcasts or
+// listens, and at the end of the round it receives a set of messages plus a
+// collision-detector indication.
+//
+// The engine is deterministic: a given seed reproduces a run bit-for-bit.
+// Nodes share no state, so their per-round step functions may run
+// concurrently (one goroutine per node) without affecting determinism.
+package sim
+
+import (
+	"vinfra/internal/geo"
+)
+
+// NodeID identifies a node to the engine. The paper's protocols must not
+// rely on these identifiers (Section 1.4: nodes "do not require ... unique
+// identifiers"); they exist for engine bookkeeping, deterministic iteration
+// order, and test assertions only.
+type NodeID int
+
+// Round is a slot index of the synchronous channel, starting at 0.
+type Round int
+
+// Message is the payload of a broadcast. Protocol messages implement Sized
+// so the harness can account for wire size (Theorem 14 measures message
+// size in the abstract cost model).
+type Message interface{}
+
+// Sized is implemented by messages that report their abstract wire size in
+// bytes. Messages that do not implement Sized count as DefaultMessageSize.
+type Sized interface {
+	WireSize() int
+}
+
+// DefaultMessageSize is the accounted size of a message that does not
+// implement Sized.
+const DefaultMessageSize = 8
+
+// MessageSize returns the accounted wire size of m.
+func MessageSize(m Message) int {
+	if s, ok := m.(Sized); ok {
+		return s.WireSize()
+	}
+	return DefaultMessageSize
+}
+
+// Transmission is one broadcast attempt within a round.
+type Transmission struct {
+	Sender NodeID
+	From   geo.Point
+	Msg    Message
+}
+
+// Reception is everything a node observes at the end of a round: the set of
+// messages it received and its collision detector's indication (the ±
+// notification of Section 2).
+type Reception struct {
+	Round Round
+	// Msgs holds the received messages in deterministic (sender ID) order.
+	// Protocols must not depend on this order carrying identity.
+	Msgs []Message
+	// Collision is the collision detector output for this round.
+	Collision bool
+}
+
+// NodeInfo is the engine's view of one attached node, passed to the Medium
+// so it can compute propagation.
+type NodeInfo struct {
+	ID    NodeID
+	At    geo.Point
+	Alive bool
+}
+
+// Medium computes, for one round, what every node receives given the set of
+// transmissions. rxs lists every attached node (alive or crashed) in ID
+// order; the returned slice is indexed identically. Entries for crashed
+// nodes are ignored.
+type Medium interface {
+	Deliver(r Round, txs []Transmission, rxs []NodeInfo) []Reception
+}
+
+// Node is a protocol endpoint driven by the engine. In each round the
+// engine first calls Transmit on every alive node (nil means listen), then
+// computes propagation through the Medium, then calls Receive on every
+// alive node.
+type Node interface {
+	// Transmit returns the message to broadcast in round r, or nil to
+	// listen.
+	Transmit(r Round) Message
+	// Receive delivers the round's reception.
+	Receive(r Round, rx Reception)
+}
+
+// Env gives an attached node access to its engine-provided environment:
+// identity, a GPS-style location reading, and a deterministic per-node
+// random source.
+type Env interface {
+	ID() NodeID
+	// Location returns the node's current position (the periodic GPS
+	// update of Section 2; exact in this simulation).
+	Location() geo.Point
+	// Intn returns a deterministic uniform int in [0, n). It must only be
+	// called from within the node's own Transmit/Receive to preserve
+	// determinism.
+	Intn(n int) int
+	// Float64 returns a deterministic uniform float64 in [0, 1).
+	Float64() float64
+}
+
+// Mover updates a node's position once per round. Implementations live in
+// internal/mobility; Static nodes use nil.
+type Mover interface {
+	// Move returns the position for the next round given the current one.
+	// Displacement per round must not exceed the model's vmax.
+	Move(r Round, cur geo.Point, rnd func(n int) int) geo.Point
+}

@@ -1,0 +1,126 @@
+package vi_test
+
+import (
+	"testing"
+
+	"vinfra/internal/geo"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+)
+
+// TestClientIgnoresProtocolTraffic checks that ballots, vetoes, join
+// requests and reset guards — everything the emulation protocol puts on
+// the air — never reach a client program's reception.
+func TestClientIgnoresProtocolTraffic(t *testing.T) {
+	tb := newTestbed(t, testbedOpts{
+		locs:        []geo.Point{{X: 0, Y: 0}},
+		replicasPer: 3,
+		leaders:     true,
+	})
+	var all []vi.Message
+	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
+		func(vr int, recv []vi.Message, coll bool) *vi.Message {
+			all = append(all, recv...)
+			return nil
+		}))
+	// A joiner mid-run produces join/join-ack traffic too.
+	tb.runVRounds(3)
+	tb.eng.Attach(geo.Point{X: 0.5, Y: 0.5}, nil, func(env sim.Env) sim.Node {
+		return tb.dep.NewEmulator(env, false)
+	})
+	tb.runVRounds(5)
+
+	for _, m := range all {
+		// Only VN broadcasts ("count=...") are expected: there are no
+		// other clients to hear.
+		if len(m.Payload) < 6 || m.Payload[:6] != "count=" {
+			t.Errorf("client program received protocol traffic: %q", m.Payload)
+		}
+	}
+	if len(all) == 0 {
+		t.Error("client heard nothing at all")
+	}
+}
+
+// TestClientDoesNotHearItself verifies loopback filtering: a client's own
+// broadcast is not delivered back to its program.
+func TestClientDoesNotHearItself(t *testing.T) {
+	tb := newTestbed(t, testbedOpts{
+		locs:        []geo.Point{{X: 0, Y: 0}},
+		replicasPer: 2,
+		leaders:     true,
+	})
+	var heard []string
+	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
+		func(vr int, recv []vi.Message, coll bool) *vi.Message {
+			for _, m := range recv {
+				heard = append(heard, m.Payload)
+			}
+			return &vi.Message{Payload: "my-own-ping"}
+		}))
+	tb.runVRounds(6)
+
+	for _, h := range heard {
+		if h == "my-own-ping" {
+			t.Fatal("client heard its own broadcast")
+		}
+	}
+}
+
+// TestClientsHearEachOther: two clients near the same virtual node in
+// different rounds hear each other's broadcasts (the virtual channel is a
+// broadcast medium among clients too).
+func TestClientsHearEachOther(t *testing.T) {
+	tb := newTestbed(t, testbedOpts{
+		locs:        []geo.Point{{X: 0, Y: 0}},
+		replicasPer: 2,
+		leaders:     true,
+	})
+	var heardByB []string
+	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
+		func(vr int, recv []vi.Message, coll bool) *vi.Message {
+			if vr%2 == 1 {
+				return &vi.Message{Payload: "from-a"}
+			}
+			return nil
+		}))
+	tb.addClient(geo.Point{X: -1, Y: 1}, vi.ClientFunc(
+		func(vr int, recv []vi.Message, coll bool) *vi.Message {
+			for _, m := range recv {
+				if m.Payload == "from-a" {
+					heardByB = append(heardByB, m.Payload)
+				}
+			}
+			return nil
+		}))
+	tb.runVRounds(8)
+	if len(heardByB) == 0 {
+		t.Error("client B never heard client A")
+	}
+}
+
+// TestClientCollisionIndication: two clients broadcasting in the same
+// client phase collide; each observes the collision flag on the virtual
+// channel.
+func TestClientCollisionIndication(t *testing.T) {
+	tb := newTestbed(t, testbedOpts{
+		locs:        []geo.Point{{X: 0, Y: 0}},
+		replicasPer: 2,
+		leaders:     true,
+	})
+	sawCollision := 0
+	mk := func(payload string) vi.ClientProgram {
+		return vi.ClientFunc(func(vr int, recv []vi.Message, coll bool) *vi.Message {
+			if coll {
+				sawCollision++
+			}
+			return &vi.Message{Payload: payload}
+		})
+	}
+	tb.addClient(geo.Point{X: 1, Y: -1}, mk("a"))
+	tb.addClient(geo.Point{X: -1, Y: 1}, mk("b"))
+	tb.runVRounds(6)
+	if sawCollision == 0 {
+		t.Error("simultaneous client broadcasts should surface as collisions")
+	}
+}

@@ -1,0 +1,525 @@
+package vi
+
+import (
+	"fmt"
+
+	"vinfra/internal/cha"
+	"vinfra/internal/cm"
+	"vinfra/internal/geo"
+	"vinfra/internal/sim"
+)
+
+// Deployment describes a virtual infrastructure: the fixed virtual-node
+// locations, the radio parameters, the broadcast schedule derived from
+// them, and the per-virtual-node programs. It is immutable and shared by
+// every emulator and client.
+type Deployment struct {
+	locs     []geo.Point
+	radii    geo.Radii
+	schedule Schedule
+	timing   Timing
+	program  func(VNodeID) Program
+	vmax     float64
+	newCM    func(v VNodeID, env sim.Env) cm.Manager
+}
+
+// DeploymentConfig parameterizes NewDeployment.
+type DeploymentConfig struct {
+	// Locations are the virtual node positions. Required, non-empty.
+	Locations []geo.Point
+	// Radii are the quasi-unit-disk radio parameters. Required.
+	Radii geo.Radii
+	// Program supplies each virtual node's automaton. Required.
+	Program func(VNodeID) Program
+	// VMax bounds device speed; it shrinks the regional contention
+	// manager's leader-eligibility margin (Section 4.2). Optional.
+	VMax float64
+	// NewCM overrides the regional contention manager factory. Optional;
+	// the default is a Regional backoff manager per virtual node.
+	NewCM func(v VNodeID, env sim.Env) cm.Manager
+}
+
+// NewDeployment validates the configuration, builds the schedule, and
+// returns the deployment.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	if len(cfg.Locations) == 0 {
+		return nil, fmt.Errorf("vi: deployment requires at least one virtual node location")
+	}
+	if err := cfg.Radii.Validate(); err != nil {
+		return nil, fmt.Errorf("vi: %w", err)
+	}
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("vi: deployment requires a Program")
+	}
+	d := &Deployment{
+		locs:    append([]geo.Point(nil), cfg.Locations...),
+		radii:   cfg.Radii,
+		program: cfg.Program,
+		vmax:    cfg.VMax,
+	}
+	d.schedule = BuildSchedule(d.locs, d.radii)
+	d.timing = Timing{S: d.schedule.Len()}
+	if cfg.NewCM != nil {
+		d.newCM = cfg.NewCM
+	} else {
+		d.newCM = func(v VNodeID, env sim.Env) cm.Manager {
+			return cm.NewRegional(cm.RegionalConfig{
+				Location: d.locs[v],
+				Radius:   d.RegionRadius(),
+				VMax:     d.vmax,
+				Horizon:  d.timing.LeaderHorizon(),
+			})(env)
+		}
+	}
+	return d, nil
+}
+
+// RegionRadius returns the replication region radius around each virtual
+// node location: R1/4 (Section 4).
+func (d *Deployment) RegionRadius() float64 { return d.radii.R1 / 4 }
+
+// Timing returns the deployment's virtual round timing.
+func (d *Deployment) Timing() Timing { return d.timing }
+
+// Schedule returns the deployment's broadcast schedule.
+func (d *Deployment) Schedule() Schedule { return d.schedule }
+
+// Locations returns the virtual node locations (callers must not mutate).
+func (d *Deployment) Locations() []geo.Point { return d.locs }
+
+// NumVNodes returns the number of virtual nodes.
+func (d *Deployment) NumVNodes() int { return len(d.locs) }
+
+// RegionOf returns the virtual node whose replication region contains p
+// (the nearest one within R1/4), or None.
+func (d *Deployment) RegionOf(p geo.Point) VNodeID {
+	best := None
+	bestD := d.RegionRadius()
+	for i, loc := range d.locs {
+		if dist := p.Dist(loc); dist <= bestD {
+			best = VNodeID(i)
+			bestD = dist
+		}
+	}
+	return best
+}
+
+// EmulatorHooks observe emulator lifecycle events for tests and metrics.
+// All fields are optional.
+type EmulatorHooks struct {
+	// OnOutput fires after each completed agreement instance with the
+	// virtual node id and the replica's output.
+	OnOutput func(v VNodeID, out cha.Output)
+	// OnJoin fires when the emulator completes a join (via ack).
+	OnJoin func(v VNodeID, vround int)
+	// OnReset fires when the emulator resets a dead virtual node.
+	OnReset func(v VNodeID, vround int)
+}
+
+// Emulator is one mobile device participating in the virtual infrastructure
+// emulation: whenever it resides within R1/4 of a virtual node location it
+// (joins and) replicates that virtual node, running the eleven-phase
+// protocol of Section 4.3. It implements sim.Node.
+type Emulator struct {
+	env   sim.Env
+	d     *Deployment
+	hooks EmulatorHooks
+
+	vn     VNodeID // current region's virtual node (None when outside)
+	joined bool
+	mgr    cm.Manager
+	core   *cha.Core
+	cache  *stateCache
+
+	// Per-virtual-round scratch state.
+	input           RoundInput // accumulating message sub-protocol input
+	began           bool       // whether Begin was called this vround
+	expectedPayload string     // own VN's expected broadcast payload this vround
+	broadcastBallot bool
+	sawJoinActivity bool // join request or collision in join/join-ack phases
+
+	// Joiner scratch state.
+	requested bool // sent a join request this vround
+	gotAck    bool
+}
+
+var _ sim.Node = (*Emulator)(nil)
+
+// NewEmulator builds an emulator for the deployment. If bootstrap is true
+// and the device starts inside a region, it begins as a full replica of
+// that virtual node in its initial state (the deployment's round-0
+// bootstrap); otherwise it acquires state through the join protocol.
+func (d *Deployment) NewEmulator(env sim.Env, bootstrap bool) *Emulator {
+	e := &Emulator{env: env, d: d, vn: None}
+	if bootstrap {
+		if v := d.RegionOf(env.Location()); v != None {
+			e.enterRegion(v)
+			e.becomeReplica(0, d.program(v).Init(v, d.locs[v]), cha.NewCore())
+		}
+	}
+	return e
+}
+
+// SetHooks installs lifecycle hooks (call before running).
+func (e *Emulator) SetHooks(h EmulatorHooks) { e.hooks = h }
+
+// VNode returns the virtual node this emulator currently serves, or None.
+func (e *Emulator) VNode() VNodeID { return e.vn }
+
+// Joined reports whether the emulator is a full replica of its region's
+// virtual node.
+func (e *Emulator) Joined() bool { return e.joined }
+
+// Core exposes the agreement state machine (nil before joining).
+func (e *Emulator) Core() *cha.Core { return e.core }
+
+// StateBefore returns the emulator's estimate of its virtual node's state
+// entering virtual round vr (1-based). It is only meaningful while joined.
+func (e *Emulator) StateBefore(vr int) string {
+	return e.cache.stateBefore(e.core.CalculateHistory(), vr)
+}
+
+func (e *Emulator) enterRegion(v VNodeID) {
+	e.vn = v
+	e.joined = false
+	e.mgr = e.d.newCM(v, e.env)
+	e.core = nil
+	e.cache = nil
+	e.requested = false
+	e.gotAck = false
+}
+
+func (e *Emulator) leaveRegion() {
+	e.vn = None
+	e.joined = false
+	e.mgr = nil
+	e.core = nil
+	e.cache = nil
+}
+
+// becomeReplica installs agreement and application state as of instance
+// floor, making the emulator a full replica.
+func (e *Emulator) becomeReplica(floor cha.Instance, state string, core *cha.Core) {
+	e.core = core
+	e.cache = newStateCache(e.d.program(e.vn), e.vn, e.d.locs[e.vn])
+	e.cache.resetAt(floor, state)
+	e.joined = true
+}
+
+// checkRegion re-evaluates region membership at the start of each virtual
+// round.
+func (e *Emulator) checkRegion() {
+	v := e.d.RegionOf(e.env.Location())
+	if v == e.vn {
+		return
+	}
+	if e.vn != None {
+		e.leaveRegion()
+	}
+	if v != None {
+		e.enterRegion(v)
+	}
+}
+
+// vround numbers virtual rounds from 1 so that virtual round r corresponds
+// to agreement instance r.
+func (e *Emulator) position(r sim.Round) (vr int, phase Phase, subslot int) {
+	vr0, phase, subslot := e.d.timing.Decompose(r)
+	return vr0 + 1, phase, subslot
+}
+
+// scheduled reports whether this emulator's virtual node is scheduled in
+// virtual round vr.
+func (e *Emulator) scheduled(vr int) bool {
+	return e.d.schedule.ScheduledIn(e.vn, vr-1)
+}
+
+// Transmit implements sim.Node.
+func (e *Emulator) Transmit(r sim.Round) sim.Message {
+	vr, phase, subslot := e.position(r)
+	switch phase {
+	case PhaseClient:
+		e.startVRound()
+		return nil
+	case PhaseVN:
+		return e.transmitVN(r, vr)
+	case PhaseSchedBallot:
+		if e.participating(vr, true) {
+			return e.transmitBallot(r, vr)
+		}
+		return nil
+	case PhaseSchedVeto1:
+		if e.participating(vr, true) && e.core.NeedVeto1() {
+			return cha.VetoMsg{}
+		}
+		return nil
+	case PhaseSchedVeto2:
+		if e.participating(vr, true) && e.core.NeedVeto2() {
+			return cha.VetoMsg{}
+		}
+		return nil
+	case PhaseUnschedBallot:
+		if e.participating(vr, false) && subslot == e.d.schedule.SlotOf(e.vn) {
+			return e.transmitBallot(r, vr)
+		}
+		return nil
+	case PhaseUnschedVeto1:
+		if e.participating(vr, false) && e.core.NeedVeto1() {
+			return cha.VetoMsg{}
+		}
+		return nil
+	case PhaseUnschedVeto2:
+		if e.participating(vr, false) && e.core.NeedVeto2() {
+			return cha.VetoMsg{}
+		}
+		return nil
+	case PhaseJoin:
+		if e.vn != None && !e.joined && e.scheduled(vr) {
+			e.requested = true
+			e.gotAck = false
+			return JoinReqMsg{}
+		}
+		return nil
+	case PhaseJoinAck:
+		if e.joined && e.sawJoinActivity && e.scheduled(vr) && e.mgr.Advice(r) {
+			return e.joinAck()
+		}
+		return nil
+	default: // PhaseReset
+		if e.joined && e.sawJoinActivity {
+			return ResetGuardMsg{}
+		}
+		return nil
+	}
+}
+
+// participating reports whether this emulator runs the scheduled (sched =
+// true) or unscheduled agreement instance in virtual round vr.
+func (e *Emulator) participating(vr int, sched bool) bool {
+	return e.vn != None && e.joined && e.scheduled(vr) == sched
+}
+
+// startVRound resets per-round scratch state and re-evaluates the region.
+func (e *Emulator) startVRound() {
+	e.checkRegion()
+	e.input = RoundInput{}
+	e.began = false
+	e.expectedPayload = ""
+	e.sawJoinActivity = false
+	e.requested = false
+	e.gotAck = false
+}
+
+// transmitVN implements the vn phase broadcast rule of Section 4.3: if the
+// virtual node is unscheduled but chooses to broadcast, every replica
+// broadcasts; if it is scheduled, only contention-manager-advised replicas
+// do.
+func (e *Emulator) transmitVN(r sim.Round, vr int) sim.Message {
+	if e.vn == None || !e.joined {
+		return nil
+	}
+	state := e.cache.stateBefore(e.core.CalculateHistory(), vr)
+	out := e.d.program(e.vn).Outgoing(state, vr)
+	if out == nil {
+		return nil
+	}
+	e.expectedPayload = out.Payload
+	if !e.scheduled(vr) {
+		// The virtual node ignores its schedule; so do its replicas.
+		e.input.VNBroadcast = true
+		return VNMsg{Payload: out.Payload}
+	}
+	if e.mgr.Advice(r) {
+		e.input.VNBroadcast = true
+		return VNMsg{Payload: out.Payload}
+	}
+	return nil
+}
+
+func (e *Emulator) transmitBallot(r sim.Round, vr int) sim.Message {
+	b := e.core.Begin(cha.Instance(vr), e.input.Encode())
+	e.began = true
+	e.broadcastBallot = e.mgr.Advice(r)
+	if e.broadcastBallot {
+		return cha.BallotMsg{B: b}
+	}
+	return nil
+}
+
+func (e *Emulator) joinAck() sim.Message {
+	return JoinAckMsg{
+		StateFloor: e.cache.floor,
+		State:      e.cache.floorState,
+		Snap:       e.core.Snapshot(),
+	}
+}
+
+// Receive implements sim.Node.
+func (e *Emulator) Receive(r sim.Round, rx sim.Reception) {
+	vr, phase, subslot := e.position(r)
+	switch phase {
+	case PhaseClient:
+		if e.vn == None {
+			return
+		}
+		for _, m := range rx.Msgs {
+			if msg, ok := m.(ClientMsg); ok {
+				e.input.Msgs = append(e.input.Msgs, msg.Payload)
+			}
+		}
+		if rx.Collision {
+			e.input.Collision = true
+		}
+	case PhaseVN:
+		if e.vn == None || !e.joined {
+			return
+		}
+		for _, m := range rx.Msgs {
+			vm, ok := m.(VNMsg)
+			if !ok {
+				continue
+			}
+			if vm.Payload == e.expectedPayload && e.expectedPayload != "" {
+				e.input.VNBroadcast = true
+				continue
+			}
+			e.input.Msgs = append(e.input.Msgs, vm.Payload)
+		}
+		if rx.Collision {
+			e.input.Collision = true
+		}
+	case PhaseSchedBallot:
+		if e.participating(vr, true) {
+			e.observeBallots(r, rx)
+		}
+	case PhaseSchedVeto1:
+		if e.participating(vr, true) {
+			e.core.ObserveVeto1(cha.HasVeto(rx.Msgs), rx.Collision)
+		}
+	case PhaseSchedVeto2:
+		if e.participating(vr, true) {
+			e.finishInstance(rx)
+		}
+	case PhaseUnschedBallot:
+		if e.participating(vr, false) && subslot == e.d.schedule.SlotOf(e.vn) {
+			e.observeBallots(r, rx)
+		}
+	case PhaseUnschedVeto1:
+		if e.participating(vr, false) {
+			e.core.ObserveVeto1(cha.HasVeto(rx.Msgs), rx.Collision)
+		}
+	case PhaseUnschedVeto2:
+		if e.participating(vr, false) {
+			e.finishInstance(rx)
+		}
+	case PhaseJoin:
+		if e.joined {
+			if hasJoinReq(rx.Msgs) || rx.Collision {
+				e.sawJoinActivity = true
+			}
+		}
+	case PhaseJoinAck:
+		switch {
+		case e.joined:
+			if rx.Collision {
+				e.sawJoinActivity = true
+			}
+		case e.requested:
+			for _, m := range rx.Msgs {
+				if ack, ok := m.(JoinAckMsg); ok {
+					e.adoptAck(vr, ack)
+					break
+				}
+			}
+		}
+	default: // PhaseReset
+		if e.requested && !e.gotAck && !e.joined {
+			if len(rx.Msgs) == 0 && !rx.Collision {
+				e.resetVNode(vr)
+			}
+		}
+	}
+}
+
+func (e *Emulator) observeBallots(r sim.Round, rx sim.Reception) {
+	if !e.began {
+		// Defensive: a replica that joined mid-round skips the instance.
+		return
+	}
+	ballots := cha.ExtractBallots(rx.Msgs)
+	e.core.ObserveBallots(ballots, rx.Collision)
+	e.mgr.Observe(r, ballotFeedback(e.broadcastBallot, len(ballots) > 0, rx.Collision))
+}
+
+// finishInstance closes the instance at the final veto phase, folds green
+// outputs into the replica's checkpoint (bounding both local state and
+// join-ack size, Section 3.5), and fires hooks.
+func (e *Emulator) finishInstance(rx sim.Reception) {
+	if !e.began {
+		return
+	}
+	out := e.core.ObserveVeto2(cha.HasVeto(rx.Msgs), rx.Collision)
+	if out.Color == cha.Green {
+		e.fold(out)
+	}
+	if e.hooks.OnOutput != nil {
+		e.hooks.OnOutput(e.vn, out)
+	}
+}
+
+// fold advances the checkpoint to a green instance: compute the agreed
+// state through it, snapshot it, and garbage-collect the agreement layer.
+func (e *Emulator) fold(out cha.Output) {
+	state := e.cache.floorState
+	prog := e.d.program(e.vn)
+	for k := e.cache.floor + 1; k <= out.Instance; k++ {
+		state = applyInstance(prog, state, out.History, k)
+	}
+	e.cache.resetAt(out.Instance, state)
+	e.core.GC(out.Instance)
+}
+
+// adoptAck installs the transferred state and makes this emulator a full
+// replica from the next virtual round.
+func (e *Emulator) adoptAck(vr int, ack JoinAckMsg) {
+	e.gotAck = true
+	core := cha.RestoreCore(ack.Snap)
+	e.becomeReplica(ack.StateFloor, ack.State, core)
+	if e.hooks.OnJoin != nil {
+		e.hooks.OnJoin(e.vn, vr)
+	}
+}
+
+// resetVNode revives a dead virtual node in its initial state
+// (Section 4.3: safe only after the reset phase stayed silent).
+func (e *Emulator) resetVNode(vr int) {
+	core := cha.NewCore()
+	core.ResetAt(cha.Instance(vr))
+	init := e.d.program(e.vn).Init(e.vn, e.d.locs[e.vn])
+	e.becomeReplica(cha.Instance(vr), init, core)
+	if e.hooks.OnReset != nil {
+		e.hooks.OnReset(e.vn, vr)
+	}
+}
+
+func hasJoinReq(msgs []sim.Message) bool {
+	for _, m := range msgs {
+		if _, ok := m.(JoinReqMsg); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func ballotFeedback(broadcast, gotBallot, collision bool) cm.Feedback {
+	switch {
+	case collision:
+		return cm.FeedbackCollision
+	case broadcast && gotBallot:
+		return cm.FeedbackWon
+	case gotBallot:
+		return cm.FeedbackLost
+	default:
+		return cm.FeedbackSilence
+	}
+}

@@ -1,0 +1,18 @@
+package vi_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// decodeGob decodes a gob-encoded state string into out.
+func decodeGob(t *testing.T, raw string, out interface{}) {
+	t.Helper()
+	if raw == "" {
+		return
+	}
+	if err := gob.NewDecoder(bytes.NewReader([]byte(raw))).Decode(out); err != nil {
+		t.Fatalf("decode state: %v", err)
+	}
+}

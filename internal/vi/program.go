@@ -1,0 +1,161 @@
+package vi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"vinfra/internal/cha"
+	"vinfra/internal/geo"
+)
+
+// Program is a deterministic virtual node automaton (Section 1.2: virtual
+// nodes are deterministic). The protocol layer treats states as opaque
+// strings so they can be digested, compared across replicas, and shipped in
+// join-acks; use Codec to write programs against typed states.
+//
+// Determinism is a correctness requirement: every replica must compute the
+// identical state from the identical history.
+type Program interface {
+	// Init returns the virtual node's initial state.
+	Init(id VNodeID, loc geo.Point) string
+	// OnRound consumes the input of one virtual round — the agreed message
+	// set, or a collision indication when the round's agreement produced
+	// ⊥ — and returns the next state.
+	OnRound(state string, vround int, in RoundInput) string
+	// Outgoing returns the message the virtual node broadcasts in virtual
+	// round vround, given the state entering that round, or nil to listen.
+	Outgoing(state string, vround int) *Message
+}
+
+// stateCache incrementally materializes a virtual node's state from the
+// replica's current history chain, re-using the previous computation when
+// the chain is a pure extension (the common case once the network is
+// stable) and recomputing from the initial state otherwise.
+type stateCache struct {
+	prog Program
+	id   VNodeID
+	loc  geo.Point
+
+	floorState string       // state at the floor instance (initial or join snapshot)
+	floor      cha.Instance // instances <= floor are folded into floorState
+
+	cachedState  string
+	cachedUpTo   cha.Instance
+	cachedDigest uint64
+}
+
+func newStateCache(prog Program, id VNodeID, loc geo.Point) *stateCache {
+	init := prog.Init(id, loc)
+	return &stateCache{
+		prog:        prog,
+		id:          id,
+		loc:         loc,
+		floorState:  init,
+		cachedState: init,
+	}
+}
+
+// resetAt installs a state snapshot at the given floor (join state
+// transfer, or a virtual node reset).
+func (sc *stateCache) resetAt(floor cha.Instance, state string) {
+	sc.floor = floor
+	sc.floorState = state
+	sc.cachedState = state
+	sc.cachedUpTo = floor
+	sc.cachedDigest = 0
+}
+
+// stateBefore returns the virtual node state entering virtual round vround
+// (i.e., after applying history through instance vround-1), given the
+// replica's current history estimate h.
+func (sc *stateCache) stateBefore(h *cha.History, vround int) string {
+	upTo := cha.Instance(vround) - 1
+	if upTo < sc.floor {
+		// Cannot reconstruct below the snapshot; the snapshot itself is
+		// the best available state.
+		return sc.floorState
+	}
+	// If the previously cached prefix still matches, extend incrementally.
+	prefixDigest := h.DigestRange(sc.floor+1, sc.cachedUpTo, 0)
+	start := sc.floor
+	state := sc.floorState
+	if sc.cachedUpTo > sc.floor && prefixDigest == sc.cachedDigest && sc.cachedUpTo <= upTo {
+		start = sc.cachedUpTo
+		state = sc.cachedState
+	}
+	for k := start + 1; k <= upTo; k++ {
+		state = applyInstance(sc.prog, state, h, k)
+	}
+	sc.cachedState = state
+	sc.cachedUpTo = upTo
+	sc.cachedDigest = h.DigestRange(sc.floor+1, upTo, 0)
+	return state
+}
+
+// applyInstance folds history position k into the state: an included
+// instance delivers its decoded round input; a ⊥ instance delivers a
+// collision indication (Section 3.3).
+func applyInstance(prog Program, state string, h *cha.History, k cha.Instance) string {
+	v, ok := h.At(k)
+	if !ok {
+		return prog.OnRound(state, int(k), RoundInput{Collision: true})
+	}
+	in, err := DecodeRoundInput(v)
+	if err != nil {
+		// A malformed agreed value cannot occur through the emulation
+		// protocol itself; treat it as a collision to stay deterministic.
+		in = RoundInput{Collision: true}
+	}
+	return prog.OnRound(state, int(k), in)
+}
+
+// Codec adapts a typed, gob-serializable state S to the Program string
+// interface. Step and Out receive decoded states; encoding errors panic,
+// since a non-serializable state type is a programming error.
+type Codec[S any] struct {
+	// InitState returns the initial typed state.
+	InitState func(id VNodeID, loc geo.Point) S
+	// Step folds one virtual round into the state.
+	Step func(state S, vround int, in RoundInput) S
+	// Out computes the broadcast entering a virtual round (may be nil for
+	// always-silent nodes).
+	Out func(state S, vround int) *Message
+}
+
+// Init implements Program.
+func (c Codec[S]) Init(id VNodeID, loc geo.Point) string {
+	return encodeState(c.InitState(id, loc))
+}
+
+// OnRound implements Program.
+func (c Codec[S]) OnRound(state string, vround int, in RoundInput) string {
+	return encodeState(c.Step(decodeState[S](state), vround, in))
+}
+
+// Outgoing implements Program.
+func (c Codec[S]) Outgoing(state string, vround int) *Message {
+	if c.Out == nil {
+		return nil
+	}
+	return c.Out(decodeState[S](state), vround)
+}
+
+func encodeState[S any](s S) string {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		panic(fmt.Sprintf("vi: state encode: %v", err))
+	}
+	return buf.String()
+}
+
+func decodeState[S any](raw string) S {
+	var s S
+	if raw == "" {
+		return s
+	}
+	if err := gob.NewDecoder(bytes.NewReader([]byte(raw))).Decode(&s); err != nil {
+		panic(fmt.Sprintf("vi: state decode: %v", err))
+	}
+	return s
+}

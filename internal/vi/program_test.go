@@ -1,0 +1,199 @@
+package vi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"vinfra/internal/cha"
+	"vinfra/internal/geo"
+)
+
+// appendProgram is a minimal deterministic program whose state is the
+// concatenation of everything it has consumed — ideal for checking exactly
+// which inputs the state cache applied.
+type appendProgram struct{}
+
+func (appendProgram) Init(id VNodeID, _ geo.Point) string {
+	return fmt.Sprintf("init(%d)", id)
+}
+
+func (appendProgram) OnRound(state string, vround int, in RoundInput) string {
+	if in.Collision && len(in.Msgs) == 0 {
+		return state + fmt.Sprintf("|%d:±", vround)
+	}
+	return state + fmt.Sprintf("|%d:%v", vround, in.Msgs)
+}
+
+func (appendProgram) Outgoing(state string, vround int) *Message {
+	return &Message{Payload: fmt.Sprintf("out@%d", vround)}
+}
+
+func historyOf(top cha.Instance, vals map[cha.Instance]cha.Value) *cha.History {
+	return cha.NewHistory(top, vals)
+}
+
+func input(msgs ...string) cha.Value {
+	return RoundInput{Msgs: msgs}.Encode()
+}
+
+func TestStateCacheAppliesHistoryInOrder(t *testing.T) {
+	sc := newStateCache(appendProgram{}, 3, geo.Point{})
+	h := historyOf(3, map[cha.Instance]cha.Value{
+		1: input("a"),
+		3: input("c"),
+	})
+	got := sc.stateBefore(h, 4) // state after instances 1..3
+	want := "init(3)|1:[a]|2:±|3:[c]"
+	if got != want {
+		t.Errorf("state = %q, want %q", got, want)
+	}
+}
+
+func TestStateCacheIncrementalExtension(t *testing.T) {
+	sc := newStateCache(appendProgram{}, 0, geo.Point{})
+	h1 := historyOf(2, map[cha.Instance]cha.Value{1: input("a"), 2: input("b")})
+	first := sc.stateBefore(h1, 3)
+
+	// Extend the same chain: the cache must reuse the prefix.
+	h2 := historyOf(4, map[cha.Instance]cha.Value{
+		1: input("a"), 2: input("b"), 3: input("c"), 4: input("d"),
+	})
+	second := sc.stateBefore(h2, 5)
+	if second != first+"|3:[c]|4:[d]" {
+		t.Errorf("incremental state = %q", second)
+	}
+}
+
+func TestStateCacheRecomputesOnChainChange(t *testing.T) {
+	sc := newStateCache(appendProgram{}, 0, geo.Point{})
+	h1 := historyOf(2, map[cha.Instance]cha.Value{1: input("a"), 2: input("b")})
+	sc.stateBefore(h1, 3)
+
+	// A different chain for the same prefix (instance 2 now ⊥ — possible
+	// before stabilization when a later ballot bypasses it).
+	h2 := historyOf(3, map[cha.Instance]cha.Value{1: input("a"), 3: input("c")})
+	got := sc.stateBefore(h2, 4)
+	want := "init(0)|1:[a]|2:±|3:[c]"
+	if got != want {
+		t.Errorf("recomputed state = %q, want %q", got, want)
+	}
+}
+
+func TestStateCacheResetAt(t *testing.T) {
+	sc := newStateCache(appendProgram{}, 0, geo.Point{})
+	sc.resetAt(5, "snapshot")
+	h := historyOf(7, map[cha.Instance]cha.Value{6: input("x"), 7: input("y")})
+	got := sc.stateBefore(h, 8)
+	want := "snapshot|6:[x]|7:[y]"
+	if got != want {
+		t.Errorf("state after snapshot = %q, want %q", got, want)
+	}
+	// Queries below the snapshot floor return the snapshot itself.
+	if got := sc.stateBefore(h, 4); got != "snapshot" {
+		t.Errorf("below-floor state = %q", got)
+	}
+}
+
+func TestStateCacheRepeatedQueriesStable(t *testing.T) {
+	sc := newStateCache(appendProgram{}, 0, geo.Point{})
+	h := historyOf(3, map[cha.Instance]cha.Value{1: input("a"), 2: input("b"), 3: input("c")})
+	a := sc.stateBefore(h, 4)
+	b := sc.stateBefore(h, 4)
+	c := sc.stateBefore(h, 4)
+	if a != b || b != c {
+		t.Error("repeated identical queries must be stable")
+	}
+	// Query an earlier point after a later one.
+	early := sc.stateBefore(h, 2)
+	if early != "init(0)|1:[a]" {
+		t.Errorf("early state = %q", early)
+	}
+}
+
+func TestApplyInstanceMalformedValueActsAsCollision(t *testing.T) {
+	h := historyOf(1, map[cha.Instance]cha.Value{1: cha.Value("not-a-proposal")})
+	got := applyInstance(appendProgram{}, "s", h, 1)
+	if got != "s|1:±" {
+		t.Errorf("malformed value state = %q, want collision semantics", got)
+	}
+}
+
+type codecState struct {
+	N     int
+	Words []string
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := Codec[codecState]{
+		InitState: func(id VNodeID, _ geo.Point) codecState {
+			return codecState{N: int(id)}
+		},
+		Step: func(s codecState, vround int, in RoundInput) codecState {
+			s.N += len(in.Msgs)
+			s.Words = append(s.Words, in.Msgs...)
+			return s
+		},
+		Out: func(s codecState, vround int) *Message {
+			return &Message{Payload: fmt.Sprintf("%d", s.N)}
+		},
+	}
+	st := c.Init(7, geo.Point{})
+	st = c.OnRound(st, 1, RoundInput{Msgs: []string{"x", "y"}})
+	st = c.OnRound(st, 2, RoundInput{Msgs: []string{"z"}})
+	out := c.Outgoing(st, 3)
+	if out == nil || out.Payload != "10" {
+		t.Fatalf("out = %+v, want 10 (7+3)", out)
+	}
+	var decoded codecState
+	decodeGobInternal(t, st, &decoded)
+	if decoded.N != 10 || len(decoded.Words) != 3 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestCodecDeterministicEncoding(t *testing.T) {
+	c := Codec[codecState]{
+		InitState: func(VNodeID, geo.Point) codecState { return codecState{} },
+		Step: func(s codecState, _ int, in RoundInput) codecState {
+			s.Words = append(s.Words, in.Msgs...)
+			return s
+		},
+	}
+	in := RoundInput{Msgs: []string{"a", "b"}}
+	s1 := c.OnRound(c.Init(0, geo.Point{}), 1, in)
+	s2 := c.OnRound(c.Init(0, geo.Point{}), 1, in)
+	if s1 != s2 {
+		t.Error("identical inputs must produce identical encoded states")
+	}
+}
+
+func TestCodecNilOut(t *testing.T) {
+	c := Codec[codecState]{
+		InitState: func(VNodeID, geo.Point) codecState { return codecState{} },
+		Step:      func(s codecState, _ int, _ RoundInput) codecState { return s },
+	}
+	if got := c.Outgoing(c.Init(0, geo.Point{}), 1); got != nil {
+		t.Errorf("nil Out should yield silent program, got %+v", got)
+	}
+}
+
+func TestDecodeStateEmptyIsZero(t *testing.T) {
+	var s codecState
+	s = decodeState[codecState]("")
+	if s.N != 0 || s.Words != nil {
+		t.Errorf("empty raw state should decode to zero value: %+v", s)
+	}
+}
+
+// decodeGobInternal decodes a gob state for in-package tests.
+func decodeGobInternal(t *testing.T, raw string, out interface{}) {
+	t.Helper()
+	if raw == "" {
+		return
+	}
+	if err := gob.NewDecoder(bytes.NewReader([]byte(raw))).Decode(out); err != nil {
+		t.Fatalf("decode state: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package vi implements the virtual infrastructure emulation of Section 4:
+// a set of deterministic virtual nodes at fixed locations, each replicated
+// by the mobile devices within distance R1/4 of its location, emulated with
+// constant overhead per virtual round on top of the CHAP agreement protocol
+// (package cha).
+//
+// Each virtual round consists of eleven phases (Section 4.3): a message
+// sub-protocol (client and vn phases), a scheduled CHAP instance (three
+// phases), an unscheduled CHAP instance (three phases, with the ballot
+// phase stretched over s+2 slots), and a join/join-ack/reset sub-protocol.
+// The total is s+12 radio rounds per virtual round, a constant depending
+// only on the virtual-node density (schedule length s), independent of the
+// number of replicas and of the execution length.
+package vi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vinfra/internal/cha"
+)
+
+// VNodeID identifies a virtual node by its index in the deployment.
+type VNodeID int
+
+// None is the VNodeID of "no virtual node" (an emulator outside every
+// region).
+const None VNodeID = -1
+
+// Message is a payload on the virtual broadcast channel — what clients and
+// virtual nodes exchange. Like the underlying channel, the virtual channel
+// carries no sender identity; applications encode what they need in the
+// payload.
+type Message struct {
+	Payload string
+}
+
+// --- Wire messages of the emulation protocol ---
+
+// ClientMsg carries a client's broadcast in the client phase.
+type ClientMsg struct {
+	Payload string
+}
+
+// WireSize implements sim.Sized.
+func (m ClientMsg) WireSize() int { return 1 + len(m.Payload) }
+
+// VNMsg carries a virtual node's broadcast in the vn phase (sent by one or
+// more of its replicas on its behalf).
+type VNMsg struct {
+	Payload string
+}
+
+// WireSize implements sim.Sized.
+func (m VNMsg) WireSize() int { return 1 + len(m.Payload) }
+
+// JoinReqMsg announces a new emulator requesting the virtual node state.
+type JoinReqMsg struct{}
+
+// WireSize implements sim.Sized.
+func (JoinReqMsg) WireSize() int { return 1 }
+
+// JoinAckMsg transfers the virtual node's replica state to a joiner: the
+// sender's checkpointed virtual-node state plus its agreement-layer state
+// above the checkpoint. Its size is the state-transfer cost the paper's
+// open question (3) wants reduced.
+type JoinAckMsg struct {
+	// StateFloor is the checkpoint instance: State is the virtual node
+	// state after applying the agreed history up to and including it.
+	StateFloor cha.Instance
+	// State is the encoded virtual node state at StateFloor.
+	State string
+	// Snap is the sender's agreement-layer state above the checkpoint.
+	Snap cha.CoreSnapshot
+}
+
+// WireSize implements sim.Sized.
+func (m JoinAckMsg) WireSize() int {
+	return 8 + len(m.State) + m.Snap.WireSize()
+}
+
+// ResetGuardMsg is broadcast in the reset phase by live replicas to prevent
+// a joiner from resetting a virtual node that is still alive.
+type ResetGuardMsg struct{}
+
+// WireSize implements sim.Sized.
+func (ResetGuardMsg) WireSize() int { return 1 }
+
+// --- Proposal encoding ---
+
+// RoundInput is what one replica believes the virtual node experienced in
+// one virtual round: the messages to deliver and whether the virtual node
+// itself broadcast. It is encoded as the CHA proposal value, so the
+// replicas agree on it per round.
+type RoundInput struct {
+	// Msgs are the payloads heard for the virtual node during the message
+	// sub-protocol, sorted and deduplicated for determinism.
+	Msgs []string
+	// Collision reports whether the replica observed a collision during
+	// the message sub-protocol (the virtual channel is collision-prone).
+	Collision bool
+	// VNBroadcast reports whether the virtual node's own broadcast was
+	// observed in the vn phase.
+	VNBroadcast bool
+}
+
+// Normalize sorts and deduplicates Msgs in place.
+func (in *RoundInput) Normalize() {
+	sort.Strings(in.Msgs)
+	out := in.Msgs[:0]
+	var last string
+	for i, m := range in.Msgs {
+		if i == 0 || m != last {
+			out = append(out, m)
+		}
+		last = m
+	}
+	in.Msgs = out
+}
+
+// Encode serializes the input as a CHA proposal value. The encoding is
+// canonical: equal inputs encode identically.
+func (in RoundInput) Encode() cha.Value {
+	cp := in
+	cp.Msgs = append([]string(nil), in.Msgs...)
+	cp.Normalize()
+	var sb strings.Builder
+	if cp.Collision {
+		sb.WriteByte('C')
+	} else {
+		sb.WriteByte('-')
+	}
+	if cp.VNBroadcast {
+		sb.WriteByte('B')
+	} else {
+		sb.WriteByte('-')
+	}
+	for _, m := range cp.Msgs {
+		fmt.Fprintf(&sb, "|%d:%s", len(m), m)
+	}
+	return cha.Value(sb.String())
+}
+
+// DecodeRoundInput parses a proposal value back into a RoundInput.
+func DecodeRoundInput(v cha.Value) (RoundInput, error) {
+	s := string(v)
+	if len(s) < 2 {
+		return RoundInput{}, fmt.Errorf("vi: proposal too short: %q", s)
+	}
+	in := RoundInput{
+		Collision:   s[0] == 'C',
+		VNBroadcast: s[1] == 'B',
+	}
+	rest := s[2:]
+	for len(rest) > 0 {
+		if rest[0] != '|' {
+			return RoundInput{}, fmt.Errorf("vi: malformed proposal near %q", rest)
+		}
+		rest = rest[1:]
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return RoundInput{}, fmt.Errorf("vi: missing length separator in %q", rest)
+		}
+		n, err := strconv.Atoi(rest[:colon])
+		if err != nil || n < 0 || colon+1+n > len(rest) {
+			return RoundInput{}, fmt.Errorf("vi: bad length in proposal: %q", rest)
+		}
+		in.Msgs = append(in.Msgs, rest[colon+1:colon+1+n])
+		rest = rest[colon+1+n:]
+	}
+	return in, nil
+}

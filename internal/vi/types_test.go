@@ -1,0 +1,123 @@
+package vi
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vinfra/internal/cha"
+)
+
+func TestRoundInputEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		in   RoundInput
+	}{
+		{"empty", RoundInput{}},
+		{"collision only", RoundInput{Collision: true}},
+		{"broadcast only", RoundInput{VNBroadcast: true}},
+		{"one message", RoundInput{Msgs: []string{"hello"}}},
+		{"several messages", RoundInput{Msgs: []string{"a", "bb", "ccc"}, Collision: true, VNBroadcast: true}},
+		{"payload with separators", RoundInput{Msgs: []string{"x|7:y", ":|:"}}},
+		{"empty payload", RoundInput{Msgs: []string{""}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := tt.in.Encode()
+			got, err := DecodeRoundInput(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tt.in
+			want.Normalize()
+			if got.Collision != want.Collision || got.VNBroadcast != want.VNBroadcast {
+				t.Errorf("flags: got %+v, want %+v", got, want)
+			}
+			if len(got.Msgs) != len(want.Msgs) {
+				t.Fatalf("msgs: got %v, want %v", got.Msgs, want.Msgs)
+			}
+			for i := range got.Msgs {
+				if got.Msgs[i] != want.Msgs[i] {
+					t.Errorf("msg %d: %q != %q", i, got.Msgs[i], want.Msgs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRoundInputEncodeCanonical(t *testing.T) {
+	a := RoundInput{Msgs: []string{"b", "a", "b"}}
+	b := RoundInput{Msgs: []string{"a", "b"}}
+	if a.Encode() != b.Encode() {
+		t.Error("permuted/duplicated inputs must encode identically")
+	}
+}
+
+func TestRoundInputEncodeDoesNotMutate(t *testing.T) {
+	in := RoundInput{Msgs: []string{"b", "a"}}
+	in.Encode()
+	if in.Msgs[0] != "b" {
+		t.Error("Encode mutated the caller's slice")
+	}
+}
+
+func TestNormalizeDedup(t *testing.T) {
+	in := RoundInput{Msgs: []string{"z", "a", "z", "a", "m"}}
+	in.Normalize()
+	if !reflect.DeepEqual(in.Msgs, []string{"a", "m", "z"}) {
+		t.Errorf("Normalize = %v", in.Msgs)
+	}
+}
+
+func TestDecodeRoundInputErrors(t *testing.T) {
+	bad := []string{"", "C", "CB garbage", "CB|x:y", "CB|5:ab", "CB|-1:x"}
+	for _, s := range bad {
+		if _, err := DecodeRoundInput(cha.Value(s)); err == nil {
+			t.Errorf("DecodeRoundInput(%q) should fail", s)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(msgs []string, coll, vnb bool) bool {
+		in := RoundInput{Msgs: msgs, Collision: coll, VNBroadcast: vnb}
+		got, err := DecodeRoundInput(in.Encode())
+		if err != nil {
+			return false
+		}
+		want := RoundInput{Msgs: append([]string(nil), msgs...), Collision: coll, VNBroadcast: vnb}
+		want.Normalize()
+		if len(want.Msgs) == 0 {
+			want.Msgs = nil
+		}
+		if len(got.Msgs) == 0 {
+			got.Msgs = nil
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	if got := (ClientMsg{Payload: "abc"}).WireSize(); got != 4 {
+		t.Errorf("ClientMsg size = %d", got)
+	}
+	if got := (VNMsg{Payload: "abc"}).WireSize(); got != 4 {
+		t.Errorf("VNMsg size = %d", got)
+	}
+	if got := (JoinReqMsg{}).WireSize(); got != 1 {
+		t.Errorf("JoinReqMsg size = %d", got)
+	}
+	if got := (ResetGuardMsg{}).WireSize(); got != 1 {
+		t.Errorf("ResetGuardMsg size = %d", got)
+	}
+	ack := JoinAckMsg{State: "state", Snap: cha.CoreSnapshot{
+		Ballots:    []cha.Ballot{{V: "xy"}},
+		BallotKeys: []cha.Instance{1},
+	}}
+	if got := ack.WireSize(); got != 8+5+24+18 {
+		t.Errorf("JoinAckMsg size = %d", got)
+	}
+}
