@@ -115,3 +115,9 @@ func BenchmarkE9LockThroughput(b *testing.B) {
 		experiments.LockThroughput([]int{2, 4}, 40)
 	}
 }
+
+func BenchmarkE10DeliveryScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.DeliveryScaling([]int{1_000, 10_000}, 3)
+	}
+}

@@ -1,14 +1,15 @@
 // Command chabench regenerates every table of the reproduction experiment
-// suite (E1–E8 in DESIGN.md): the paper's Figure 2, the constant-overhead
+// suite (E1–E10): the paper's Figure 2, the constant-overhead
 // claims of Theorem 14, the Property 4 color invariant, the correctness
 // theorems, the Section 4 emulation overhead and churn behaviour, the
-// Section 1.5 baseline comparisons, and the ablations.
+// Section 1.5 baseline comparisons, the ablations, and the round-delivery
+// scaling table (scan vs grid spatial index).
 //
 // Usage:
 //
 //	chabench              # full suite
 //	chabench -quick       # smaller parameter sweeps
-//	chabench -only E2     # a single experiment (E1..E8)
+//	chabench -only E2     # a single experiment (E1..E10)
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	only := flag.String("only", "", "run a single experiment (E1..E10)")
 	flag.Parse()
 
 	type experiment struct {
@@ -99,6 +100,11 @@ func main() {
 				experiments.LockThroughput(sweep([]int{1, 2, 4, 8}, []int{2, 4}), vrounds*3),
 			}
 		}},
+		{"E10", func() []*metrics.Table {
+			return []*metrics.Table{
+				experiments.DeliveryScaling(sweep([]int{100, 1000, 10000}, []int{100, 1000}), sweep([]int{20}, []int{5})[0]),
+			}
+		}},
 	}
 
 	ran := 0
@@ -113,7 +119,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "chabench: unknown experiment %q (want E1..E9)\n", *only)
+		fmt.Fprintf(os.Stderr, "chabench: unknown experiment %q (want E1..E10)\n", *only)
 		os.Exit(2)
 	}
 }

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	visim -grid 3x3 -targets 2 -devices 4 -vrounds 120 -seed 7
+//	visim -grid 8x8 -devices 16 -parallel   # shard rounds across cores
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	targets := flag.Int("targets", 2, "mobile targets to track")
 	vrounds := flag.Int("vrounds", 60, "virtual rounds to simulate")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Bool("parallel", false, "shard round delivery and node fan-out across CPU cores (same seed, same output)")
 	flag.Parse()
 
 	var cols, rows int
@@ -57,8 +59,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	medium := radio.MustMedium(radio.Config{Radii: radii, Detector: cd.AC{}, Seed: *seed})
-	eng := sim.NewEngine(medium, sim.WithSeed(*seed))
+	medium := radio.MustMedium(radio.Config{Radii: radii, Detector: cd.AC{}, Seed: *seed, Parallel: *parallel})
+	engOpts := []sim.Option{sim.WithSeed(*seed)}
+	if *parallel {
+		engOpts = append(engOpts, sim.WithParallel())
+	}
+	eng := sim.NewEngine(medium, engOpts...)
 
 	// Emulator devices tethered near each virtual node.
 	greens := make([]int, len(locs))

@@ -1,15 +1,49 @@
 // Package vinfra is a reproduction of "Virtual Infrastructure for
 // Collision-Prone Wireless Networks" (Chockler, Gilbert, Lynch, PODC 2008).
 //
-// The library lives under internal/: the slotted radio simulator (sim,
-// radio, geo, mobility), the model's collision detectors (cd) and
-// contention managers (cm), the Convergent History Agreement protocol that
-// is the paper's core contribution (cha), the full virtual infrastructure
-// emulation (vi), applications on top of it (apps), the baselines the paper
-// argues against (baseline), and the experiment suite (experiments).
+// # Module layout
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for the reproduced results. The
-// benchmarks in bench_test.go regenerate every experiment table; the
-// cmd/chabench binary prints them.
+// The module is `vinfra` (Go 1.22, no external dependencies). The library
+// lives under internal/:
+//
+//   - sim: the slotted, synchronous round engine (Section 2). Runs are
+//     deterministic per seed; WithParallel shards each round's mobility,
+//     Transmit and Receive fan-out across a bounded worker pool without
+//     changing output.
+//   - geo: planar geometry, the quasi-unit-disk radii R1/R2, deployment
+//     grids, and CellIndex — the uniform-grid spatial index that makes
+//     radius queries O(points in nearby cells) instead of O(n).
+//   - radio: the collision-prone medium. Delivery buckets each round's
+//     transmissions into R2-sized grid cells so every receiver consults
+//     only its own and adjacent cells (near-linear per round rather than
+//     O(receivers x transmissions)); Config.Mode selects scan/grid/auto
+//     and Config.Parallel shards receivers across workers. All modes are
+//     reception-identical for the same seed.
+//   - cd, cm: the model's collision detector classes and contention
+//     managers.
+//   - cha: Convergent History Agreement, the paper's core protocol.
+//   - vi: the full virtual infrastructure emulation (Section 4).
+//   - apps, baseline: applications on top of the infrastructure and the
+//     baselines the paper argues against.
+//   - mobility, metrics: mobility models and table rendering.
+//   - experiments: the reproduction experiment suite E1–E10.
+//
+// cmd/chabench prints every experiment table; cmd/visim runs an
+// interactive tracking simulation (pass -parallel to shard rounds across
+// cores). See README.md for a guided tour and how to run the verification
+// and benchmarks.
+//
+// # Verifying and benchmarking
+//
+// The tier-1 check is:
+//
+//	go build ./... && go test ./...
+//
+// The delivery-scaling benchmarks (1k and 10k nodes, brute-force scan vs
+// grid index, sequential vs sharded) live in internal/radio and
+// internal/sim:
+//
+//	go test ./internal/radio/ -bench 'Deliver' -benchtime 10x
+//	go test ./internal/sim/ -bench 'EngineStep' -benchtime 10x
+//	go run ./cmd/chabench -only E10
 package vinfra

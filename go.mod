@@ -1,0 +1,3 @@
+module vinfra
+
+go 1.22

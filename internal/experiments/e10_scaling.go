@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"vinfra/internal/cd"
+	"vinfra/internal/geo"
+	"vinfra/internal/metrics"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+)
+
+// scalingRound scatters n nodes uniformly at constant density (about
+// twelve nodes per R2 disk, the regime a large emulation runs in) with a
+// quarter of them transmitting.
+func scalingRound(n int, seed int64) ([]sim.NodeInfo, []sim.Transmission) {
+	side := math.Sqrt(float64(n) / 12 * math.Pi * Radii.R2 * Radii.R2)
+	rng := rand.New(rand.NewSource(seed))
+	infos := make([]sim.NodeInfo, n)
+	var txs []sim.Transmission
+	for i := range infos {
+		infos[i] = sim.NodeInfo{
+			ID:    sim.NodeID(i),
+			At:    geo.Point{X: rng.Float64() * side, Y: rng.Float64() * side},
+			Alive: true,
+		}
+		if rng.Intn(4) == 0 {
+			txs = append(txs, sim.Transmission{
+				Sender: infos[i].ID,
+				From:   infos[i].At,
+				Msg:    fmt.Sprintf("m%d", i),
+			})
+		}
+	}
+	return infos, txs
+}
+
+// timeDeliver measures the mean wall-clock cost of one Deliver call.
+func timeDeliver(m *radio.Medium, rounds int, txs []sim.Transmission, infos []sim.NodeInfo) time.Duration {
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		m.Deliver(sim.Round(r), txs, infos)
+	}
+	return time.Since(start) / time.Duration(rounds)
+}
+
+// DeliveryScaling is experiment E10: per-round message-delivery cost as the
+// deployment grows, comparing the brute-force O(receivers x transmissions)
+// scan against the R2-cell grid index, sequential and sharded. The grid
+// rows must agree with the scan rows reception-for-reception (the
+// equivalence property tested in internal/radio); only the cost changes.
+func DeliveryScaling(sizes []int, rounds int) *metrics.Table {
+	t := metrics.NewTable("E10 — round delivery scaling (per-round cost)",
+		"nodes", "txs", "scan", "grid", "grid+parallel", "speedup")
+	for _, n := range sizes {
+		infos, txs := scalingRound(n, int64(n))
+		mode := func(m radio.DeliveryMode, parallel bool) *radio.Medium {
+			return radio.MustMedium(radio.Config{
+				Radii:    Radii,
+				Detector: cd.AC{},
+				Mode:     m,
+				Parallel: parallel,
+				Seed:     1,
+			})
+		}
+		scan := timeDeliver(mode(radio.ModeScan, false), rounds, txs, infos)
+		grid := timeDeliver(mode(radio.ModeGrid, false), rounds, txs, infos)
+		par := timeDeliver(mode(radio.ModeGrid, true), rounds, txs, infos)
+		speedup := float64(scan) / float64(grid)
+		t.AddRow(metrics.D(n), metrics.D(len(txs)),
+			scan.String(), grid.String(), par.String(),
+			metrics.F(speedup)+"x")
+	}
+	t.Notes = "grid = uniform R2-cell index, receivers consult 3x3 cells; receptions identical across columns"
+	return t
+}

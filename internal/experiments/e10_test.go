@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeliveryScalingTable(t *testing.T) {
+	tab := DeliveryScaling([]int{50, 200}, 2)
+	if tab.NumRows() != 2 {
+		t.Fatalf("got %d rows, want 2", tab.NumRows())
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, col := range []string{"nodes", "scan", "grid", "speedup"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("rendered table missing column %q:\n%s", col, out)
+		}
+	}
+}

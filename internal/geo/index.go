@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CellIndex is a uniform-grid spatial index over a fixed slice of points:
+// the plane is partitioned into square cells of a given side length and
+// each point is bucketed by the cell containing it. It answers "which
+// points lie near p" by visiting only the cells around p's cell, turning
+// the O(n) scan of a radius query into O(points in the nearby cells).
+//
+// The index is built once per round from that round's positions (building
+// is O(n)) and is immutable afterwards, so concurrent queries are safe.
+// The radio medium builds one per round with cell size equal to the
+// interference radius R2, so every point within R2 of a query point is
+// found in the 3x3 block of cells around it.
+type CellIndex struct {
+	pts   []Point
+	cell  float64
+	inv   float64
+	cells map[cellKey][]int32
+}
+
+type cellKey struct {
+	X, Y int64
+}
+
+// BuildCellIndex indexes pts into cells of side cellSize. It panics if
+// cellSize is not positive; callers index against a physical radius which
+// the model requires to be positive.
+func BuildCellIndex(pts []Point, cellSize float64) *CellIndex {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		panic(fmt.Sprintf("geo: BuildCellIndex cell size %v, must be positive and finite", cellSize))
+	}
+	ix := &CellIndex{
+		pts:   pts,
+		cell:  cellSize,
+		inv:   1 / cellSize,
+		cells: make(map[cellKey][]int32, len(pts)),
+	}
+	for i := range pts {
+		k := ix.keyOf(pts[i])
+		ix.cells[k] = append(ix.cells[k], int32(i))
+	}
+	return ix
+}
+
+// Cell returns the cell side length the index was built with.
+func (ix *CellIndex) Cell() float64 { return ix.cell }
+
+// Len returns the number of indexed points.
+func (ix *CellIndex) Len() int { return len(ix.pts) }
+
+func (ix *CellIndex) keyOf(p Point) cellKey {
+	return cellKey{
+		X: int64(math.Floor(p.X * ix.inv)),
+		Y: int64(math.Floor(p.Y * ix.inv)),
+	}
+}
+
+// Rings returns the number of cell rings k that must be visited around a
+// query point's cell so that every indexed point within distance r is
+// covered: k = ceil(r / cell). A query radius equal to the cell size needs
+// a single ring (the 3x3 block).
+func (ix *CellIndex) Rings(r float64) int {
+	if r <= 0 {
+		return 0
+	}
+	return int(math.Ceil(r * ix.inv))
+}
+
+// VisitNear calls fn with the index of every point bucketed in the
+// (2k+1)x(2k+1) block of cells centered on p's cell. The visited set is a
+// superset of the points within distance k*cell of p; callers filter by
+// exact distance. Within one cell, indices are visited in increasing
+// order; cells are visited row-major.
+func (ix *CellIndex) VisitNear(p Point, k int, fn func(i int32)) {
+	c := ix.keyOf(p)
+	for dy := int64(-k); dy <= int64(k); dy++ {
+		for dx := int64(-k); dx <= int64(k); dx++ {
+			for _, i := range ix.cells[cellKey{X: c.X + dx, Y: c.Y + dy}] {
+				fn(i)
+			}
+		}
+	}
+}
+
+// Near appends to buf the indices of every point in the (2k+1)x(2k+1)
+// block of cells centered on p's cell and returns the extended slice.
+// Pass buf[:0] of a reused slice to avoid allocation on hot paths.
+func (ix *CellIndex) Near(buf []int32, p Point, k int) []int32 {
+	ix.VisitNear(p, k, func(i int32) { buf = append(buf, i) })
+	return buf
+}
+
+// Within appends to buf the indices of every indexed point within distance
+// r of p (inclusive), in increasing index order, and returns the extended
+// slice.
+func (ix *CellIndex) Within(buf []int32, p Point, r float64) []int32 {
+	start := len(buf)
+	r2 := r * r
+	ix.VisitNear(p, ix.Rings(r), func(i int32) {
+		if ix.pts[i].Dist2(p) <= r2 {
+			buf = append(buf, i)
+		}
+	})
+	out := buf[start:]
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return buf
+}

@@ -1,0 +1,150 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellIndexWithinMatchesBruteForce(t *testing.T) {
+	f := func(seed uint32, nRaw uint8, cellRaw, rRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := int(nRaw%64) + 1
+		cell := 0.5 + float64(cellRaw%40)
+		r := 0.1 + float64(rRaw%60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64()*100 - 50, Y: rng.Float64()*100 - 50}
+		}
+		ix := BuildCellIndex(pts, cell)
+		for trial := 0; trial < 4; trial++ {
+			q := Point{X: rng.Float64()*120 - 60, Y: rng.Float64()*120 - 60}
+			got := ix.Within(nil, q, r)
+			var want []int32
+			for i := range pts {
+				if pts[i].Dist2(q) <= r*r {
+					want = append(want, int32(i))
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellIndexNearIsSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 80, Y: rng.Float64() * 80}
+	}
+	const cell = 10.0
+	ix := BuildCellIndex(pts, cell)
+	for trial := 0; trial < 50; trial++ {
+		q := Point{X: rng.Float64() * 80, Y: rng.Float64() * 80}
+		near := ix.Near(nil, q, 1)
+		seen := make(map[int32]bool, len(near))
+		for _, i := range near {
+			seen[i] = true
+		}
+		for i := range pts {
+			if pts[i].Dist2(q) <= cell*cell && !seen[int32(i)] {
+				t.Fatalf("point %d within %v of %v missing from Near", i, cell, q)
+			}
+		}
+	}
+}
+
+func TestCellIndexRings(t *testing.T) {
+	ix := BuildCellIndex(nil, 10)
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0, 0}, {-1, 0}, {5, 1}, {10, 1}, {10.01, 2}, {25, 3},
+	}
+	for _, c := range cases {
+		if got := ix.Rings(c.r); got != c.want {
+			t.Errorf("Rings(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestCellIndexNegativeCoordinates(t *testing.T) {
+	// Floor (not truncation) must be used to key cells, or points just
+	// left of the axis collapse into the cell just right of it.
+	pts := []Point{{-0.5, -0.5}, {0.5, 0.5}}
+	ix := BuildCellIndex(pts, 1)
+	a, b := ix.keyOf(pts[0]), ix.keyOf(pts[1])
+	if a == b {
+		t.Fatalf("points on opposite sides of the origin share cell %+v", a)
+	}
+	got := ix.Within(nil, Point{-0.5, -0.5}, 0.1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Within around (-0.5,-0.5) = %v, want [0]", got)
+	}
+}
+
+func TestBuildCellIndexRejectsBadCell(t *testing.T) {
+	for _, bad := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BuildCellIndex(cell=%v) did not panic", bad)
+				}
+			}()
+			BuildCellIndex(nil, bad)
+		}()
+	}
+}
+
+// TestNeighborGraphMatchesBruteForce pins the CellIndex-backed
+// NeighborGraph to the quadratic reference implementation, including
+// adjacency order.
+func TestNeighborGraphMatchesBruteForce(t *testing.T) {
+	f := func(seed uint32, nRaw uint8, tRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := int(nRaw % 50)
+		threshold := 0.5 + float64(tRaw%30)
+		locs := make([]Point, n)
+		for i := range locs {
+			locs[i] = Point{X: rng.Float64()*60 - 30, Y: rng.Float64()*60 - 30}
+		}
+		got := NeighborGraph(locs, threshold)
+		want := make([][]int, n)
+		t2 := threshold * threshold
+		for i := range locs {
+			for j := range locs {
+				if i != j && locs[i].Dist2(locs[j]) <= t2 {
+					want[i] = append(want[i], j)
+				}
+			}
+			sort.Ints(want[i])
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				return false
+			}
+			for k := range want[i] {
+				if got[i][k] != want[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,8 +1,6 @@
 package radio
 
 import (
-	"math/rand"
-
 	"vinfra/internal/sim"
 )
 
@@ -24,11 +22,14 @@ func (None) ForceCollision(sim.Round, sim.NodeID) bool { return false }
 // onward it is the identity.
 //
 // Construct with NewRandomLoss to seed the deterministic random source.
+// Each draw is keyed by (seed, round, receiver, sender), so the adversary
+// is stateless, independent of the order receivers are filtered in, and
+// safe for the concurrent use a parallel Medium makes of it.
 type RandomLoss struct {
 	p          float64
 	collisionP float64
 	until      sim.Round
-	rng        *rand.Rand
+	seed       int64
 }
 
 // NewRandomLoss returns a RandomLoss adversary active before round until.
@@ -37,18 +38,24 @@ func NewRandomLoss(p, collisionP float64, until sim.Round, seed int64) *RandomLo
 		p:          p,
 		collisionP: collisionP,
 		until:      until,
-		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
 	}
 }
 
+// u01 returns the deterministic uniform [0,1) draw for one
+// (round, receiver, sender) triple.
+func (a *RandomLoss) u01(r sim.Round, receiver sim.NodeID, sender int64) float64 {
+	return float64(hashKeys(a.seed, int64(r), int64(receiver), sender)>>11) / (1 << 53)
+}
+
 // Filter implements Adversary.
-func (a *RandomLoss) Filter(r sim.Round, _ sim.NodeID, deliverable []sim.Transmission) []sim.Transmission {
+func (a *RandomLoss) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Transmission) []sim.Transmission {
 	if r >= a.until || a.p <= 0 || len(deliverable) == 0 {
 		return deliverable
 	}
 	kept := make([]sim.Transmission, 0, len(deliverable))
 	for _, tx := range deliverable {
-		if a.rng.Float64() >= a.p {
+		if a.u01(r, receiver, int64(tx.Sender)) >= a.p {
 			kept = append(kept, tx)
 		}
 	}
@@ -56,11 +63,12 @@ func (a *RandomLoss) Filter(r sim.Round, _ sim.NodeID, deliverable []sim.Transmi
 }
 
 // ForceCollision implements Adversary.
-func (a *RandomLoss) ForceCollision(r sim.Round, _ sim.NodeID) bool {
+func (a *RandomLoss) ForceCollision(r sim.Round, receiver sim.NodeID) bool {
 	if r >= a.until || a.collisionP <= 0 {
 		return false
 	}
-	return a.rng.Float64() < a.collisionP
+	// The collision draw uses a sender key no real node carries.
+	return a.u01(r, receiver, -1) < a.collisionP
 }
 
 // Script is a deterministic adversary driven by an explicit list of drop

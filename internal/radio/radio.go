@@ -6,11 +6,21 @@
 // drop arbitrary messages at arbitrary receivers (non-uniformly), and force
 // spurious collision-detector indications (which the configured cd.Detector
 // suppresses once it becomes accurate).
+//
+// Delivery scales to large deployments: instead of every receiver scanning
+// every transmission (O(receivers x transmissions) per round), the medium
+// buckets the round's transmissions into a uniform grid with cell size R2
+// (geo.CellIndex) and each receiver consults only its own and adjacent
+// cells. Receivers can additionally be sharded across a worker pool
+// (Config.Parallel); all randomness is derived per (round, receiver), so
+// every mode — scan, grid, sequential, parallel — produces identical
+// receptions for the same seed.
 package radio
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"vinfra/internal/cd"
 	"vinfra/internal/geo"
@@ -21,6 +31,11 @@ import (
 // permits before round r_cf. Implementations carry their own horizon and
 // must become harmless (identity Filter, no forced collisions) from r_cf
 // onward.
+//
+// The medium may invoke an Adversary from multiple goroutines at once and
+// in any receiver order (Config.Parallel), so implementations must be safe
+// for concurrent use and must not depend on call order; derive any
+// randomness deterministically from (round, receiver) as RandomLoss does.
 type Adversary interface {
 	// Filter returns the subset of deliverable transmissions actually
 	// delivered to receiver in round r. deliverable never includes the
@@ -32,6 +47,35 @@ type Adversary interface {
 	// indication at receiver in round r.
 	ForceCollision(r sim.Round, receiver sim.NodeID) bool
 }
+
+// DeliveryMode selects how the medium finds the transmissions relevant to
+// each receiver. All modes produce identical receptions; they differ only
+// in cost.
+type DeliveryMode int
+
+const (
+	// ModeAuto (the default) scans on small rounds and switches to the
+	// grid index once the round is large enough for the index to pay for
+	// its construction.
+	ModeAuto DeliveryMode = iota
+	// ModeScan always uses the brute-force O(receivers x transmissions)
+	// scan. It exists as the reference implementation for equivalence
+	// tests and before/after benchmarks.
+	ModeScan
+	// ModeGrid always buckets transmissions into a geo.CellIndex with
+	// cell size R2 and has each receiver consult only the 3x3 block of
+	// cells around it.
+	ModeGrid
+)
+
+// autoIndexMinWork is the receivers-times-transmissions product above which
+// ModeAuto switches from the scan to the grid index, and autoIndexMinTxs is
+// the transmission count below which scanning the tiny slice beats the nine
+// cell lookups per receiver regardless of receiver count.
+const (
+	autoIndexMinWork = 1 << 10
+	autoIndexMinTxs  = 8
+)
 
 // Config parameterizes a Medium.
 type Config struct {
@@ -45,15 +89,26 @@ type Config struct {
 	// the default 0 is the conservative reading.
 	GrayZoneDeliveryProb float64
 	// Seed drives the medium's own randomness (gray-zone delivery and
-	// detector noise). Defaults to 1 via NewMedium.
+	// detector noise). Defaults to 1 via NewMedium. Draws are keyed by
+	// (Seed, round, receiver), so they do not depend on the order in
+	// which receivers are processed.
 	Seed int64
+	// Mode selects the delivery implementation; see DeliveryMode.
+	Mode DeliveryMode
+	// Parallel shards the per-receiver delivery computation across a
+	// worker pool. Output is deterministic and identical to the
+	// sequential modes: receptions are written into per-receiver slots
+	// (NodeID order) and all randomness is per-receiver.
+	Parallel bool
+	// Workers caps the pool used when Parallel is set; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // Medium implements sim.Medium with quasi-unit-disk propagation and
 // collision-detector synthesis.
 type Medium struct {
 	cfg Config
-	rng *rand.Rand
 }
 
 var _ sim.Medium = (*Medium)(nil)
@@ -69,10 +124,16 @@ func NewMedium(cfg Config) (*Medium, error) {
 	if cfg.GrayZoneDeliveryProb < 0 || cfg.GrayZoneDeliveryProb > 1 {
 		return nil, fmt.Errorf("radio: GrayZoneDeliveryProb = %v out of [0,1]", cfg.GrayZoneDeliveryProb)
 	}
+	if cfg.Mode < ModeAuto || cfg.Mode > ModeGrid {
+		return nil, fmt.Errorf("radio: unknown delivery mode %d", cfg.Mode)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("radio: Workers = %d, must be non-negative", cfg.Workers)
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	return &Medium{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Medium{cfg: cfg}, nil
 }
 
 // MustMedium is NewMedium for static configurations known to be valid; it
@@ -90,28 +151,90 @@ func MustMedium(cfg Config) *Medium {
 // collision-detector indication from the ground-truth losses.
 func (m *Medium) Deliver(r sim.Round, txs []sim.Transmission, rxs []sim.NodeInfo) []sim.Reception {
 	out := make([]sim.Reception, len(rxs))
-	for i := range rxs {
-		rx := rxs[i]
-		if !rx.Alive {
-			out[i] = sim.Reception{Round: r}
-			continue
+
+	var ix *geo.CellIndex
+	switch m.cfg.Mode {
+	case ModeGrid:
+		ix = buildTxIndex(txs, m.cfg.Radii.R2)
+	case ModeAuto:
+		if len(txs) >= autoIndexMinTxs && len(txs)*len(rxs) >= autoIndexMinWork {
+			ix = buildTxIndex(txs, m.cfg.Radii.R2)
 		}
-		out[i] = m.receive(r, txs, rx)
 	}
+	// The grid only surfaces transmissions whose origin lies near the
+	// receiver, so a sender's own transmission is looked up by identity
+	// instead — the half-duplex rule must hold whatever position the
+	// transmission claims to originate from, keeping the grid path
+	// reception-identical to the scan even for out-of-sync From points.
+	var ownTx map[sim.NodeID]int32
+	if ix != nil {
+		ownTx = make(map[sim.NodeID]int32, len(txs))
+		for i := range txs {
+			ownTx[txs[i].Sender] = int32(i)
+		}
+	}
+
+	sim.Shard(len(rxs), m.workersFor(len(rxs)), func(lo, hi int) {
+		var buf []int32
+		for i := lo; i < hi; i++ {
+			rx := rxs[i]
+			if !rx.Alive {
+				out[i] = sim.Reception{Round: r}
+				continue
+			}
+			if ix != nil {
+				buf = ix.Near(buf[:0], rx.At, 1)
+			}
+			out[i] = m.receive(r, txs, buf, ownTx, ix != nil, rx)
+		}
+	})
 	return out
 }
 
-func (m *Medium) receive(r sim.Round, txs []sim.Transmission, rx sim.NodeInfo) sim.Reception {
+// workersFor returns the number of delivery shards to use for n receivers.
+func (m *Medium) workersFor(n int) int {
+	if !m.cfg.Parallel || n < 2 {
+		return 1
+	}
+	w := m.cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// buildTxIndex buckets the round's transmission origins into cells of side
+// R2, so a receiver's 3x3 cell block covers every transmission within its
+// interference radius.
+func buildTxIndex(txs []sim.Transmission, cellSize float64) *geo.CellIndex {
+	pts := make([]geo.Point, len(txs))
+	for i := range txs {
+		pts[i] = txs[i].From
+	}
+	return geo.BuildCellIndex(pts, cellSize)
+}
+
+// receive computes one receiver's reception. When useIdx is set, candIdx
+// holds the indices (into txs) of the grid-selected candidates, a superset
+// of every transmission within R2 of the receiver, and ownTx maps each
+// sender to its transmission (identity can't be answered by a positional
+// query); otherwise the full transmission slice is scanned. Both paths
+// classify candidates by exact distance, so they produce identical
+// receptions.
+func (m *Medium) receive(r sim.Round, txs []sim.Transmission, candIdx []int32, ownTx map[sim.NodeID]int32, useIdx bool, rx sim.NodeInfo) sim.Reception {
 	radii := m.cfg.Radii
 
 	// Partition the round's transmissions as seen from this receiver.
 	var own *sim.Transmission
 	var inR1, gray []sim.Transmission // from other nodes
-	for i := range txs {
+	consider := func(i int) {
 		tx := txs[i]
 		if tx.Sender == rx.ID {
 			own = &txs[i]
-			continue
+			return
 		}
 		d2 := tx.From.Dist2(rx.At)
 		switch {
@@ -121,7 +244,32 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, rx sim.NodeInfo) s
 			gray = append(gray, tx)
 		}
 	}
+	if useIdx {
+		if i, ok := ownTx[rx.ID]; ok {
+			own = &txs[i]
+		}
+		for _, i := range candIdx {
+			if txs[i].Sender != rx.ID {
+				consider(int(i))
+			}
+		}
+	} else {
+		for i := range txs {
+			consider(i)
+		}
+	}
 	othersInR2 := len(inR1) + len(gray)
+
+	// Randomness for this receiver (gray-zone delivery and detector
+	// noise) is derived from (seed, round, receiver) on first use, so it
+	// is independent of the order receivers are processed in.
+	var rng *rand.Rand
+	rnd := func() float64 {
+		if rng == nil {
+			rng = rand.New(rand.NewSource(receiverSeed(m.cfg.Seed, r, rx.ID)))
+		}
+		return rng.Float64()
+	}
 
 	// Physical delivery: a node always hears its own broadcast. A message
 	// from another node gets through only when it is the sole transmission
@@ -134,7 +282,7 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, rx sim.NodeInfo) s
 	if othersInR2 == 1 && own == nil {
 		deliverable = append(deliverable, inR1...)
 		for _, tx := range gray {
-			if m.cfg.GrayZoneDeliveryProb > 0 && m.rng.Float64() < m.cfg.GrayZoneDeliveryProb {
+			if m.cfg.GrayZoneDeliveryProb > 0 && rnd() < m.cfg.GrayZoneDeliveryProb {
 				deliverable = append(deliverable, tx)
 			}
 		}
@@ -168,7 +316,7 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, rx sim.NodeInfo) s
 		}
 	}
 
-	collision := m.cfg.Detector.Report(r, lostR1, lostR2, spurious, m.rng.Float64)
+	collision := m.cfg.Detector.Report(r, lostR1, lostR2, spurious, rnd)
 
 	msgs := make([]sim.Message, 0, len(delivered)+1)
 	if own != nil {
@@ -187,4 +335,28 @@ func containsTx(txs []sim.Transmission, sender sim.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// mix64 is the SplitMix64 finalizer, used to spread structured seed inputs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashKeys folds keys through the SplitMix64 finalizer into one well-spread
+// value. It is the package's single keyed-hash primitive: the medium's
+// per-receiver RNG seeds and RandomLoss's per-message draws both derive
+// from it, so their determinism contracts stay in lockstep.
+func hashKeys(keys ...int64) uint64 {
+	var h uint64
+	for _, k := range keys {
+		h = mix64(h ^ (uint64(k) + 0x9e3779b97f4a7c15))
+	}
+	return h
+}
+
+// receiverSeed derives the RNG seed for one receiver in one round.
+func receiverSeed(seed int64, r sim.Round, id sim.NodeID) int64 {
+	return int64(hashKeys(seed, int64(r), int64(id)))
 }

@@ -27,6 +27,52 @@ func BenchmarkEngineStep8(b *testing.B)          { benchEngine(b, 8, false) }
 func BenchmarkEngineStep64(b *testing.B)         { benchEngine(b, 64, false) }
 func BenchmarkEngineStep64Parallel(b *testing.B) { benchEngine(b, 64, true) }
 
+// nullMedium hears nothing: it isolates the engine's own per-round fan-out
+// cost from delivery cost (internal/radio's benchmarks cover the latter).
+type nullMedium struct{}
+
+func (nullMedium) Deliver(r Round, _ []Transmission, rxs []NodeInfo) []Reception {
+	out := make([]Reception, len(rxs))
+	for i := range out {
+		out[i] = Reception{Round: r}
+	}
+	return out
+}
+
+// countNode transmits every round and counts receptions without retaining
+// them, so large benchmarks run in constant memory.
+type countNode struct {
+	env      Env
+	received int
+}
+
+func (n *countNode) Transmit(r Round) Message { return int(r) }
+func (n *countNode) Receive(Round, Reception) { n.received++ }
+
+// The 1k/10k sizes track the round-delivery scaling work: they measure the
+// engine's fan-out overhead at emulator scale.
+func benchEngineLarge(b *testing.B, nodes int, parallel bool) {
+	opts := []Option{WithSeed(1)}
+	if parallel {
+		opts = append(opts, WithParallel())
+	}
+	e := NewEngine(nullMedium{}, opts...)
+	for i := 0; i < nodes; i++ {
+		e.Attach(geo.Point{X: float64(i)}, nil, func(env Env) Node {
+			return &countNode{env: env}
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStep1k(b *testing.B)          { benchEngineLarge(b, 1_000, false) }
+func BenchmarkEngineStep1kParallel(b *testing.B)  { benchEngineLarge(b, 1_000, true) }
+func BenchmarkEngineStep10k(b *testing.B)         { benchEngineLarge(b, 10_000, false) }
+func BenchmarkEngineStep10kParallel(b *testing.B) { benchEngineLarge(b, 10_000, true) }
+
 func BenchmarkEngineMobility(b *testing.B) {
 	e := NewEngine(perfectMedium{})
 	for i := 0; i < 32; i++ {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"vinfra/internal/geo"
@@ -14,6 +15,7 @@ type Engine struct {
 	medium   Medium
 	seed     int64
 	parallel bool
+	workers  int
 
 	round Round
 	nodes []*nodeState // indexed by NodeID
@@ -64,11 +66,22 @@ func WithSeed(seed int64) Option {
 	return func(e *Engine) { e.seed = seed }
 }
 
-// WithParallel runs each round's Transmit and Receive fan-out on one
-// goroutine per node. Nodes share no state, so this does not affect
-// determinism.
+// WithParallel shards each round's mobility, Transmit and Receive fan-out
+// across a bounded worker pool (one shard per worker, contiguous NodeID
+// ranges). Nodes share no state and per-node randomness is keyed to the
+// node, so output is deterministic and identical to a sequential run;
+// transmissions are merged in NodeID order after the fan-out.
 func WithParallel() Option {
 	return func(e *Engine) { e.parallel = true }
+}
+
+// WithWorkers sets the worker-pool size used by WithParallel (and implies
+// it). n <= 0 means runtime.GOMAXPROCS(0), the default.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		e.parallel = true
+		e.workers = n
+	}
 }
 
 // NewEngine returns an engine that propagates messages through medium.
@@ -200,12 +213,15 @@ func (e *Engine) Step() {
 	delete(e.crash, r)
 
 	// Mobility: move every alive node. Per-node RNG call order within a
-	// round is fixed (Move, then Transmit), so this is deterministic.
-	for _, st := range e.nodes {
-		if st.alive && st.mover != nil {
-			st.pos = st.mover.Move(r, st.pos, st.rng.Intn)
+	// round is fixed (Move, then Transmit), so this is deterministic
+	// whether the shards run sequentially or in parallel.
+	e.shard(func(lo, hi int) {
+		for _, st := range e.nodes[lo:hi] {
+			if st.alive && st.mover != nil {
+				st.pos = st.mover.Move(r, st.pos, st.rng.Intn)
+			}
 		}
-	}
+	})
 
 	txs := e.collectTransmissions(r)
 
@@ -234,22 +250,20 @@ func (e *Engine) Step() {
 	}
 }
 
+// collectTransmissions fans Transmit out across the worker pool (writing
+// into per-node slots) and then merges the non-nil results in NodeID order,
+// so the transmission list is identical to a sequential collection.
 func (e *Engine) collectTransmissions(r Round) []Transmission {
 	var txs []Transmission
 	if e.parallel {
 		msgs := make([]Message, len(e.nodes))
-		var wg sync.WaitGroup
-		for _, st := range e.nodes {
-			if !st.alive {
-				continue
+		e.shard(func(lo, hi int) {
+			for _, st := range e.nodes[lo:hi] {
+				if st.alive {
+					msgs[st.id] = st.node.Transmit(r)
+				}
 			}
-			wg.Add(1)
-			go func(st *nodeState) {
-				defer wg.Done()
-				msgs[st.id] = st.node.Transmit(r)
-			}(st)
-		}
-		wg.Wait()
+		})
 		for _, st := range e.nodes {
 			if st.alive && msgs[st.id] != nil {
 				txs = append(txs, Transmission{Sender: st.id, From: st.pos, Msg: msgs[st.id]})
@@ -269,24 +283,55 @@ func (e *Engine) collectTransmissions(r Round) []Transmission {
 }
 
 func (e *Engine) deliver(r Round, rxs []Reception) {
-	if e.parallel {
-		var wg sync.WaitGroup
-		for _, st := range e.nodes {
-			if !st.alive {
-				continue
-			}
-			wg.Add(1)
-			go func(st *nodeState) {
-				defer wg.Done()
+	e.shard(func(lo, hi int) {
+		for _, st := range e.nodes[lo:hi] {
+			if st.alive {
 				st.node.Receive(r, rxs[st.id])
-			}(st)
+			}
 		}
-		wg.Wait()
+	})
+}
+
+// shard runs fn over contiguous ranges covering all nodes: on one range
+// sequentially by default, or on per-worker ranges concurrently under
+// WithParallel. Callers must only touch per-node state (or per-node slots)
+// inside fn.
+func (e *Engine) shard(fn func(lo, hi int)) {
+	w := 1
+	if e.parallel {
+		w = e.workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+	}
+	Shard(len(e.nodes), w, fn)
+}
+
+// Shard splits [0, n) into at most workers contiguous chunks and runs fn on
+// each, concurrently when workers > 1, returning once every chunk is done.
+// It is the sharding primitive behind the engine's parallel fan-out and the
+// radio medium's parallel delivery; fn must only touch state owned by (or
+// slotted per) the indices it is given.
+func Shard(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
 		return
 	}
-	for _, st := range e.nodes {
-		if st.alive {
-			st.node.Receive(r, rxs[st.id])
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
 	}
+	wg.Wait()
 }

@@ -13,12 +13,13 @@ import (
 )
 
 // TestFullStackParallelDeterminism runs the complete emulation (grid of
-// virtual nodes, clients, backoff contention managers) twice — once
-// sequentially, once with the engine's per-round goroutine fan-out — and
-// requires bit-identical replica states. This is the repository's
-// determinism contract end to end.
+// virtual nodes, clients, backoff contention managers) under every
+// combination of medium delivery mode (brute-force scan vs grid spatial
+// index, sequential vs sharded) and engine fan-out (sequential vs worker
+// pool), and requires bit-identical replica states across all of them.
+// This is the repository's determinism contract end to end.
 func TestFullStackParallelDeterminism(t *testing.T) {
-	run := func(parallel bool) []string {
+	run := func(parallel bool, mode radio.DeliveryMode, mediumParallel bool) []string {
 		locs := geo.Grid{Spacing: 6, Cols: 2, Rows: 1}.Locations()
 		sched := vi.BuildSchedule(locs, testRadii)
 		dep, err := vi.NewDeployment(vi.DeploymentConfig{
@@ -32,7 +33,13 @@ func TestFullStackParallelDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		medium := radio.MustMedium(radio.Config{Radii: testRadii, Detector: cd.AC{}, Seed: 17})
+		medium := radio.MustMedium(radio.Config{
+			Radii:    testRadii,
+			Detector: cd.AC{},
+			Seed:     17,
+			Mode:     mode,
+			Parallel: mediumParallel,
+		})
 		opts := []sim.Option{sim.WithSeed(17)}
 		if parallel {
 			opts = append(opts, sim.WithParallel())
@@ -69,14 +76,27 @@ func TestFullStackParallelDeterminism(t *testing.T) {
 		return states
 	}
 
-	seq := run(false)
-	par := run(true)
-	if len(seq) != len(par) {
-		t.Fatal("emulator counts differ")
+	want := run(false, radio.ModeScan, false)
+	variants := []struct {
+		name           string
+		engineParallel bool
+		mode           radio.DeliveryMode
+		mediumParallel bool
+	}{
+		{"engine parallel", true, radio.ModeScan, false},
+		{"grid medium", false, radio.ModeGrid, false},
+		{"grid medium sharded", false, radio.ModeGrid, true},
+		{"everything parallel", true, radio.ModeGrid, true},
 	}
-	for i := range seq {
-		if seq[i] != par[i] {
-			t.Errorf("emulator %d: parallel execution diverged from sequential", i)
+	for _, v := range variants {
+		got := run(v.engineParallel, v.mode, v.mediumParallel)
+		if len(got) != len(want) {
+			t.Fatalf("%s: emulator counts differ", v.name)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: emulator %d diverged from sequential scan run", v.name, i)
+			}
 		}
 	}
 }
