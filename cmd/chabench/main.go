@@ -1,125 +1,167 @@
-// Command chabench regenerates every table of the reproduction experiment
-// suite (E1–E10): the paper's Figure 2, the constant-overhead
-// claims of Theorem 14, the Property 4 color invariant, the correctness
-// theorems, the Section 4 emulation overhead and churn behaviour, the
-// Section 1.5 baseline comparisons, the ablations, and the round-delivery
-// scaling table (scan vs grid spatial index).
+// Command chabench runs the reproduction experiment suite (E1–E10) through
+// the internal/harness registry: the paper's Figure 2, the
+// constant-overhead claims of Theorem 14, the Property 4 color invariant,
+// the correctness theorems, the Section 4 emulation overhead and churn
+// behaviour, the Section 1.5 baseline comparisons, the ablations, and the
+// round-delivery scaling table (scan vs grid spatial index).
 //
 // Usage:
 //
-//	chabench              # full suite
-//	chabench -quick       # smaller parameter sweeps
-//	chabench -only E2     # a single experiment (E1..E10)
+//	chabench                    # full suite, classic text tables
+//	chabench -quick             # smaller parameter sweeps
+//	chabench -only E2           # one experiment group (or sub-ID: E2a)
+//	chabench -json              # machine-readable report on stdout
+//	chabench -json -out f.json  # ... written to a file
+//	chabench -seeds 1,2,3       # replicate every cell across seeds
+//	chabench -parallel          # fan cells out over a worker pool
+//	chabench -timing=false      # deterministic output (perf fields blanked)
+//
+// Comparing against a committed baseline:
+//
+//	chabench -json -only E10 -seeds 1,2,3 -out bench.json
+//	chabench -compare bench.json                  # vs BENCH_BASELINE.json
+//	chabench -compare bench.json -calibrate -tolerance 0.30
+//
+// -compare exits 2 on usage errors, 1 when a gated cell regressed beyond
+// the tolerance, and 0 otherwise. -calibrate divides every ratio by the
+// suite's median ratio, cancelling machine-speed differences when the
+// baseline was generated on different hardware (the CI setting).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
-	"vinfra/internal/experiments"
-	"vinfra/internal/metrics"
-	"vinfra/internal/sim"
+	_ "vinfra/internal/experiments" // registers E1..E10 descriptors
+	"vinfra/internal/harness"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	var (
+		quick    = flag.Bool("quick", false, "run reduced parameter sweeps")
+		only     = flag.String("only", "", "run a subset: comma-separated groups (E1..E10) or sub-IDs (E2a)")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report instead of text tables")
+		outPath  = flag.String("out", "", "write output to a file instead of stdout")
+		seedsStr = flag.String("seeds", "", "comma-separated seed list replicated across every cell (default: per-experiment)")
+		parallel = flag.Bool("parallel", false, "fan experiment cells out over a bounded worker pool")
+		workers  = flag.Int("workers", 0, "worker-pool size; >1 implies -parallel (like sim.WithWorkers), 0 = GOMAXPROCS when -parallel is set")
+		timing   = flag.Bool("timing", true, "sample wall time and allocations; =false blanks measured values for byte-stable output")
+		note     = flag.String("note", "", "free-form note recorded in the JSON header (machine, commit, ...)")
+
+		compare   = flag.String("compare", "", "compare the given report JSON against -baseline and exit")
+		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "baseline report for -compare")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional slowdown per cell for -compare")
+		calibrate = flag.Bool("calibrate", false, "normalize -compare ratios by the median ratio (cross-machine comparisons)")
+		minWall   = flag.Float64("minwall", 0.025, "noise floor in seconds: faster cells are exempt from the -compare gate")
+	)
 	flag.Parse()
 
-	type experiment struct {
-		id     string
-		tables func() []*metrics.Table
-	}
-	sweep := func(full, quickVal []int) []int {
-		if *quick {
-			return quickVal
-		}
-		return full
-	}
-	instances := 200
-	vrounds := 40
-	if *quick {
-		instances = 50
-		vrounds = 10
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *baseline, *tolerance, *calibrate, *minWall))
 	}
 
-	suite := []experiment{
-		{"E1", func() []*metrics.Table {
-			return []*metrics.Table{experiments.Figure2Table()}
-		}},
-		{"E2", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.OverheadVsN(sweep([]int{2, 4, 8, 16, 32, 64}, []int{2, 8, 32}), instances/4),
-				experiments.OverheadVsLength(sweep([]int{16, 64, 256, 1024}, []int{16, 128})),
-				experiments.RoundsUnderLoss(4, []float64{0, 0.1, 0.3, 0.5}, instances),
-			}
-		}},
-		{"E3", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.ColorSpread(5, []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}, instances),
-			}
-		}},
-		{"E4", func() []*metrics.Table {
-			seeds := 30
-			if *quick {
-				seeds = 8
-			}
-			return []*metrics.Table{
-				experiments.CorrectnessCampaign(seeds, []sim.Round{30, 90, 180}, instances/4),
-			}
-		}},
-		{"E5", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.EmulationOverheadVsDensity(vrounds),
-				experiments.EmulationOverheadVsReplicas(sweep([]int{1, 2, 4, 8}, []int{1, 4}), vrounds),
-			}
-		}},
-		{"E6", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.ChurnSurvival(sweep([]int{2, 4, 8}, []int{4}), vrounds*2),
-			}
-		}},
-		{"E7", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.BaselineVIComparison(sweep([]int{3, 7, 11, 15, 31}, []int{3, 15}), vrounds/2),
-				experiments.StateTransferCost([]int{0, 4, 16, 64}),
-			}
-		}},
-		{"E8", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.DetectorAblation(instances / 2),
-				experiments.CMAblation(instances),
-				experiments.CheckpointAblation(sweep([]int{50, 200, 800}, []int{50, 200})),
-			}
-		}},
-		{"E9", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.RoutingLatency(sweep([]int{2, 3, 5, 8}, []int{2, 4}), 4),
-				experiments.LockThroughput(sweep([]int{1, 2, 4, 8}, []int{2, 4}), vrounds*3),
-			}
-		}},
-		{"E10", func() []*metrics.Table {
-			return []*metrics.Table{
-				experiments.DeliveryScaling(sweep([]int{100, 1000, 10000}, []int{100, 1000}), sweep([]int{20}, []int{5})[0]),
-			}
-		}},
-	}
-
-	ran := 0
-	for _, exp := range suite {
-		if *only != "" && !strings.EqualFold(*only, exp.id) {
-			continue
-		}
-		fmt.Printf("### %s\n\n", exp.id)
-		for _, t := range exp.tables() {
-			t.Render(os.Stdout)
-		}
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "chabench: unknown experiment %q (want E1..E10)\n", *only)
+	seeds, err := parseSeeds(*seedsStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
 		os.Exit(2)
 	}
+	w := *workers
+	if *parallel && w <= 0 {
+		w = -1 // harness: negative means GOMAXPROCS
+	}
+	suite, err := harness.Run(harness.Options{
+		Only:    *only,
+		Quick:   *quick,
+		Seeds:   seeds,
+		Workers: w,
+		Timing:  *timing,
+		Note:    *note,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
+		os.Exit(2)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *jsonOut {
+		if err := suite.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	suite.RenderText(out)
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var seeds []int64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds value %q", tok)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+func runCompare(curPath, basePath string, tolerance float64, calibrate bool, minWall float64) int {
+	base, err := harness.LoadReport(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chabench: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := harness.LoadReport(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
+		return 2
+	}
+	cmp := harness.Compare(base, cur, harness.CompareOptions{
+		Tolerance:  tolerance,
+		Calibrate:  calibrate,
+		MinWallSec: minWall,
+	})
+	if len(cmp.Deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "chabench: no cells in %s match the baseline %s (cells are matched by experiment/cell/seed — were both produced by the same -only/-seeds invocation?)\n",
+			curPath, basePath)
+		for _, m := range cmp.Missing {
+			fmt.Fprintf(os.Stderr, "  missing: %s\n", m)
+		}
+		return 2
+	}
+	cmp.Table(tolerance).Render(os.Stdout)
+	for _, m := range cmp.Missing {
+		fmt.Printf("missing: %s\n", m)
+	}
+	for _, d := range cmp.Drift {
+		fmt.Printf("drift: %s (deterministic results changed; inspect before trusting the perf diff)\n", d)
+	}
+	if !cmp.OK() {
+		fmt.Println()
+		for _, r := range cmp.Regressions {
+			fmt.Printf("REGRESSION: %s\n", r)
+		}
+		return 1
+	}
+	fmt.Println("perf gate: ok")
+	return 0
 }

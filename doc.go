@@ -26,12 +26,19 @@
 //   - apps, baseline: applications on top of the infrastructure and the
 //     baselines the paper argues against.
 //   - mobility, metrics: mobility models and table rendering.
-//   - experiments: the reproduction experiment suite E1–E10.
+//   - experiments: the reproduction experiment suite E1–E10. Every table
+//     registers a harness.Descriptor (parameter grid, seed list, typed
+//     rows) in its file's init.
+//   - harness: the registry-based experiment runner. It fans
+//     experiment×parameter×seed cells out over a bounded worker pool,
+//     merges results deterministically (parallel output is byte-identical
+//     to sequential), renders text tables through internal/metrics, and
+//     emits a machine-readable JSON report with per-cell wall time,
+//     rounds/sec and allocation samples.
 //
-// cmd/chabench prints every experiment table; cmd/visim runs an
-// interactive tracking simulation (pass -parallel to shard rounds across
-// cores). See README.md for a guided tour and how to run the verification
-// and benchmarks.
+// cmd/chabench runs the suite through the harness registry; cmd/visim runs
+// an interactive tracking simulation (pass -parallel to shard rounds
+// across cores). See README.md for a guided tour.
 //
 // # Verifying and benchmarking
 //
@@ -46,4 +53,26 @@
 //	go test ./internal/radio/ -bench 'Deliver' -benchtime 10x
 //	go test ./internal/sim/ -bench 'EngineStep' -benchtime 10x
 //	go run ./cmd/chabench -only E10
+//
+// # The perf trajectory and -compare workflow
+//
+// BENCH_BASELINE.json at the repo root is a committed chabench JSON report
+// (E10, seeds 1–3) whose header notes the machine and commit it was
+// generated on. To check a change against it:
+//
+//	go run ./cmd/chabench -json -only E10 -seeds 1,2,3 -out bench.json
+//	go run ./cmd/chabench -compare bench.json -calibrate -tolerance 0.30
+//
+// -compare matches cells by (experiment, cell, seed), computes wall-time
+// ratios, and exits nonzero when a cell slower than the noise floor
+// regressed beyond the tolerance. -calibrate divides every ratio by the
+// suite-wide median ratio so a uniformly slower or faster machine (CI
+// runners vs the baseline host) doesn't trip the gate — only cells that
+// regressed relative to the rest of the suite do. CI runs exactly this
+// gate on every push, plus build/vet, gofmt, a Go 1.22/1.23 test matrix
+// and a -race job (.github/workflows/ci.yml).
+//
+// After an intentional perf or result change, regenerate the baseline
+// (note the machine and commit in -note) and the experiments golden file
+// (go test ./internal/experiments/ -run Golden -update-golden).
 package vinfra

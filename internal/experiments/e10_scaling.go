@@ -8,10 +8,36 @@ import (
 
 	"vinfra/internal/cd"
 	"vinfra/internal/geo"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 )
+
+var e10Desc = harness.Descriptor{
+	ID:      "E10",
+	Group:   "E10",
+	Title:   "E10 — round delivery scaling (per-round cost)",
+	Notes:   "grid = uniform R2-cell index, receivers consult 3x3 cells; receptions identical across columns",
+	Columns: []string{"nodes", "txs", "scan", "grid", "grid+parallel", "speedup"},
+	Grid: func(quick bool) []harness.Params {
+		rounds := 20
+		if quick {
+			rounds = 5
+		}
+		var grid []harness.Params
+		for _, n := range sweep(quick, []int{100, 1000, 10000}, []int{100, 1000}) {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("n=%d", n),
+				Ints:  map[string]int{"n": n, "rounds": rounds},
+			})
+		}
+		return grid
+	},
+	Run: deliveryScalingCell,
+}
+
+func init() { harness.Register(e10Desc) }
 
 // scalingRound scatters n nodes uniformly at constant density (about
 // twelve nodes per R2 disk, the regime a large emulation runs in) with a
@@ -47,33 +73,45 @@ func timeDeliver(m *radio.Medium, rounds int, txs []sim.Transmission, infos []si
 	return time.Since(start) / time.Duration(rounds)
 }
 
-// DeliveryScaling is experiment E10: per-round message-delivery cost as the
-// deployment grows, comparing the brute-force O(receivers x transmissions)
-// scan against the R2-cell grid index, sequential and sharded. The grid
-// rows must agree with the scan rows reception-for-reception (the
-// equivalence property tested in internal/radio); only the cost changes.
-func DeliveryScaling(sizes []int, rounds int) *metrics.Table {
-	t := metrics.NewTable("E10 — round delivery scaling (per-round cost)",
-		"nodes", "txs", "scan", "grid", "grid+parallel", "speedup")
-	for _, n := range sizes {
-		infos, txs := scalingRound(n, int64(n))
-		mode := func(m radio.DeliveryMode, parallel bool) *radio.Medium {
-			return radio.MustMedium(radio.Config{
-				Radii:    Radii,
-				Detector: cd.AC{},
-				Mode:     m,
-				Parallel: parallel,
-				Seed:     1,
-			})
-		}
-		scan := timeDeliver(mode(radio.ModeScan, false), rounds, txs, infos)
-		grid := timeDeliver(mode(radio.ModeGrid, false), rounds, txs, infos)
-		par := timeDeliver(mode(radio.ModeGrid, true), rounds, txs, infos)
-		speedup := float64(scan) / float64(grid)
-		t.AddRow(metrics.D(n), metrics.D(len(txs)),
-			scan.String(), grid.String(), par.String(),
-			metrics.F(speedup)+"x")
+// deliveryScalingCell is experiment E10 at one deployment size: per-round
+// message-delivery cost, comparing the brute-force
+// O(receivers x transmissions) scan against the R2-cell grid index,
+// sequential and sharded. The grid timings must agree with the scan
+// reception-for-reception (the equivalence property tested in
+// internal/radio); only the cost changes — so every timing column is a
+// measured (nondeterministic) value while nodes/txs stay deterministic.
+func deliveryScalingCell(c *harness.Cell) []harness.Row {
+	n, rounds := c.Params.Int("n"), c.Params.Int("rounds")
+	infos, txs := scalingRound(n, int64(n)+c.Base())
+	mode := func(m radio.DeliveryMode, parallel bool) *radio.Medium {
+		return radio.MustMedium(radio.Config{
+			Radii:    Radii,
+			Detector: cd.AC{},
+			Mode:     m,
+			Parallel: parallel,
+			Seed:     c.Seed,
+		})
 	}
-	t.Notes = "grid = uniform R2-cell index, receivers consult 3x3 cells; receptions identical across columns"
-	return t
+	scan := timeDeliver(mode(radio.ModeScan, false), rounds, txs, infos)
+	grid := timeDeliver(mode(radio.ModeGrid, false), rounds, txs, infos)
+	par := timeDeliver(mode(radio.ModeGrid, true), rounds, txs, infos)
+	c.CountRounds(3 * rounds)
+	speedup := float64(scan) / float64(grid)
+	return []harness.Row{{
+		harness.Int(n), harness.Int(len(txs)),
+		harness.Dur(scan), harness.Dur(grid), harness.Dur(par),
+		harness.MeasuredFloat(metrics.F(speedup)+"x", speedup),
+	}}
+}
+
+// DeliveryScaling is the legacy table entry point.
+func DeliveryScaling(sizes []int, rounds int) *metrics.Table {
+	var rows []harness.Row
+	for _, n := range sizes {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"n": n, "rounds": rounds},
+		}}
+		rows = append(rows, deliveryScalingCell(c)...)
+	}
+	return e10Desc.TableOf(rows)
 }

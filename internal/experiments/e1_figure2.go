@@ -3,9 +3,24 @@ package experiments
 import (
 	"vinfra/internal/cd"
 	"vinfra/internal/cha"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 	"vinfra/internal/radio"
 )
+
+var e1Desc = harness.Descriptor{
+	ID:      "E1",
+	Group:   "E1",
+	Title:   "E1 — Figure 2: collision response per phase (observer node)",
+	Notes:   "rows staged with a scripted adversary; 'matches paper' compares against Figure 2 verbatim",
+	Columns: []string{"ballot", "veto-1", "veto-2", "color", "output", "matches paper"},
+	Grid: func(quick bool) []harness.Params {
+		return []harness.Params{{Label: "figure2"}}
+	},
+	Run: figure2Rows,
+}
+
+func init() { harness.Register(e1Desc) }
 
 // Figure2Row is one reproduced row of the paper's Figure 2: the phases in
 // which the observer node correctly received the round's message, the color
@@ -78,11 +93,9 @@ func RunFigure2() []Figure2Row {
 	}
 }
 
-// Figure2Table renders the reproduced Figure 2 next to the paper's values.
-func Figure2Table() *metrics.Table {
-	t := metrics.NewTable("E1 — Figure 2: collision response per phase (observer node)",
-		"ballot", "veto-1", "veto-2", "color", "output", "matches paper")
-	rows := RunFigure2()
+// figure2Rows is the harness cell: Figure 2 is a scripted (seed-free)
+// scenario, so every seed reproduces the same four rows.
+func figure2Rows(c *harness.Cell) []harness.Row {
 	mark := func(b bool) string {
 		if b {
 			return "ok"
@@ -95,10 +108,23 @@ func Figure2Table() *metrics.Table {
 		}
 		return "bottom"
 	}
+	rows := RunFigure2()
+	c.CountRounds(len(rows) * cha.RoundsPerInstance)
+	typed := make([]harness.Row, len(rows))
 	for i, r := range rows {
-		match := r == Figure2Expected[i]
-		t.AddRow(mark(r.Ballot), mark(r.Veto1), mark(r.Veto2), r.Color.String(), out(r.OutputsHistory), metrics.B(match))
+		typed[i] = harness.Row{
+			harness.Str(mark(r.Ballot)),
+			harness.Str(mark(r.Veto1)),
+			harness.Str(mark(r.Veto2)),
+			harness.Str(r.Color.String()),
+			harness.Str(out(r.OutputsHistory)),
+			harness.Bool(r == Figure2Expected[i]),
+		}
 	}
-	t.Notes = "rows staged with a scripted adversary; 'matches paper' compares against Figure 2 verbatim"
-	return t
+	return typed
+}
+
+// Figure2Table renders the reproduced Figure 2 next to the paper's values.
+func Figure2Table() *metrics.Table {
+	return e1Desc.TableOf(figure2Rows(&harness.Cell{Seed: 1}))
 }

@@ -8,47 +8,129 @@ import (
 	"vinfra/internal/cd"
 	"vinfra/internal/cha"
 	"vinfra/internal/cm"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 )
 
-// OverheadVsN measures CHAP's rounds-per-instance and maximum message size
-// as the number of nodes grows (Theorem 14: both constant in n), alongside
-// the majority-RSM baseline's rounds per decision (Θ(n), Section 1.5).
-func OverheadVsN(ns []int, instances int) *metrics.Table {
-	t := metrics.NewTable("E2a — Theorem 14: overhead vs number of nodes n",
-		"n", "CHAP rounds/inst", "CHAP max msg B", "RSM rounds/decision", "RSM max msg B")
-	for _, n := range ns {
-		c := newCluster(clusterOpts{n: n, fixedWidth: true})
-		c.runInstances(instances)
-		st := c.eng.Stats()
-		chapRounds := float64(st.Rounds) / float64(instances)
-
-		rsmRounds, rsmMsg := rsmRoundsPerDecision(n, instances, nil, 1)
-		t.AddRow(metrics.D(n), metrics.F(chapRounds), metrics.D(st.MaxMessageSize),
-			metrics.F(rsmRounds), metrics.D(rsmMsg))
-	}
-	t.Notes = "CHAP flat at 3 rounds and constant bytes; majority RSM grows linearly with n"
-	return t
+var e2aDesc = harness.Descriptor{
+	ID:      "E2a",
+	Group:   "E2",
+	Title:   "E2a — Theorem 14: overhead vs number of nodes n",
+	Notes:   "CHAP flat at 3 rounds and constant bytes; majority RSM grows linearly with n",
+	Columns: []string{"n", "CHAP rounds/inst", "CHAP max msg B", "RSM rounds/decision", "RSM max msg B"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, n := range sweep(quick, []int{2, 4, 8, 16, 32, 64}, []int{2, 8, 32}) {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("n=%d", n),
+				Ints:  map[string]int{"n": n, "instances": suiteInstances(quick) / 4},
+			})
+		}
+		return grid
+	},
+	Run: overheadVsNCell,
 }
 
-// OverheadVsLength measures the maximum message size of CHAP and the
-// full-history naive baseline as the execution length grows (Theorem 14:
-// CHAP constant, naive Θ(L)).
-func OverheadVsLength(lengths []int) *metrics.Table {
-	t := metrics.NewTable("E2b — Theorem 14: message size vs execution length L",
-		"L (instances)", "CHAP max msg B", "naive max msg B")
-	for _, l := range lengths {
-		c := newCluster(clusterOpts{n: 4, fixedWidth: true})
-		c.runInstances(l)
-		chapMax := c.eng.Stats().MaxMessageSize
+var e2bDesc = harness.Descriptor{
+	ID:      "E2b",
+	Group:   "E2",
+	Title:   "E2b — Theorem 14: message size vs execution length L",
+	Notes:   "the naive protocol ships the whole history in every ballot",
+	Columns: []string{"L (instances)", "CHAP max msg B", "naive max msg B"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, l := range sweep(quick, []int{16, 64, 256, 1024}, []int{16, 128}) {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("L=%d", l),
+				Ints:  map[string]int{"L": l},
+			})
+		}
+		return grid
+	},
+	Run: overheadVsLengthCell,
+}
 
-		naiveMax := naiveMaxMessage(4, l)
-		t.AddRow(metrics.D(l), metrics.D(chapMax), metrics.D(naiveMax))
+var e2cDesc = harness.Descriptor{
+	ID:      "E2c",
+	Group:   "E2",
+	Title:   "E2c — rounds per decided instance under message loss",
+	Notes:   "loss applied forever (r_cf = infinity); CHAP safety holds throughout",
+	Columns: []string{"loss p", "CHAP rounds/decided", "CHAP decided rate", "RSM rounds/commit"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, p := range []float64{0, 0.1, 0.3, 0.5} {
+			grid = append(grid, harness.Params{
+				Label:  fmt.Sprintf("p=%.1f", p),
+				Ints:   map[string]int{"n": 4, "instances": suiteInstances(quick)},
+				Floats: map[string]float64{"p": p},
+			})
+		}
+		return grid
+	},
+	Run: roundsUnderLossCell,
+}
+
+func init() {
+	harness.Register(e2aDesc)
+	harness.Register(e2bDesc)
+	harness.Register(e2cDesc)
+}
+
+// overheadVsNCell measures one n: CHAP's rounds-per-instance and maximum
+// message size (Theorem 14: both constant in n) alongside the majority-RSM
+// baseline's rounds per decision (Θ(n), Section 1.5).
+func overheadVsNCell(c *harness.Cell) []harness.Row {
+	n, instances := c.Params.Int("n"), c.Params.Int("instances")
+	cl := newCluster(clusterOpts{n: n, fixedWidth: true, seed: c.Seed})
+	cl.runInstances(instances)
+	st := cl.eng.Stats()
+	chapRounds := float64(st.Rounds) / float64(instances)
+
+	rsmRounds, rsmMsg, rsmSimRounds := rsmRun(n, instances, nil, 1+c.Base())
+	c.CountRounds(st.Rounds + rsmSimRounds)
+	return []harness.Row{{
+		harness.Int(n), harness.Float(chapRounds), harness.Int(st.MaxMessageSize),
+		harness.Float(rsmRounds), harness.Int(rsmMsg),
+	}}
+}
+
+// OverheadVsN is the legacy table entry point (tests and benchmarks); the
+// harness descriptor e2aDesc drives the same cell function.
+func OverheadVsN(ns []int, instances int) *metrics.Table {
+	var rows []harness.Row
+	for _, n := range ns {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"n": n, "instances": instances}}}
+		rows = append(rows, overheadVsNCell(c)...)
 	}
-	t.Notes = "the naive protocol ships the whole history in every ballot"
-	return t
+	return e2aDesc.TableOf(rows)
+}
+
+// overheadVsLengthCell measures one execution length L: the maximum message
+// size of CHAP and the full-history naive baseline (Theorem 14: CHAP
+// constant, naive Θ(L)).
+func overheadVsLengthCell(c *harness.Cell) []harness.Row {
+	l := c.Params.Int("L")
+	cl := newCluster(clusterOpts{n: 4, fixedWidth: true, seed: c.Seed})
+	cl.runInstances(l)
+	chapMax := cl.eng.Stats().MaxMessageSize
+	c.CountRounds(cl.eng.Stats().Rounds)
+
+	naiveMax := naiveMaxMessage(4, l)
+	c.CountRounds(l * cha.RoundsPerInstance)
+	return []harness.Row{{harness.Int(l), harness.Int(chapMax), harness.Int(naiveMax)}}
+}
+
+// OverheadVsLength is the legacy table entry point.
+func OverheadVsLength(lengths []int) *metrics.Table {
+	var rows []harness.Row
+	for _, l := range lengths {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{Ints: map[string]int{"L": l}}}
+		rows = append(rows, overheadVsLengthCell(c)...)
+	}
+	return e2bDesc.TableOf(rows)
 }
 
 // naiveMaxMessage runs the full-history baseline for l instances and
@@ -72,9 +154,9 @@ func naiveMaxMessage(n, l int) int {
 	return eng.Stats().MaxMessageSize
 }
 
-// rsmRoundsPerDecision runs the majority-RSM baseline and returns the mean
-// rounds per committed slot plus the max message size.
-func rsmRoundsPerDecision(n, slots int, adv radio.Adversary, seed int64) (float64, int) {
+// rsmRun runs the majority-RSM baseline and returns the mean rounds per
+// committed slot, the max message size, and the simulated rounds executed.
+func rsmRun(n, slots int, adv radio.Adversary, seed int64) (float64, int, int) {
 	medium := radio.MustMedium(radio.Config{Radii: Radii, Detector: cd.AC{}, Adversary: adv, Seed: seed})
 	eng := sim.NewEngine(medium, sim.WithSeed(seed))
 	var leader *baseline.MajorityRSM
@@ -99,36 +181,57 @@ func rsmRoundsPerDecision(n, slots int, adv radio.Adversary, seed int64) (float6
 		s.AddInt(r)
 	}
 	if s.N() == 0 {
-		return math.Inf(1), eng.Stats().MaxMessageSize
+		return math.Inf(1), eng.Stats().MaxMessageSize, eng.Stats().Rounds
 	}
-	return s.Mean(), eng.Stats().MaxMessageSize
+	return s.Mean(), eng.Stats().MaxMessageSize, eng.Stats().Rounds
 }
 
-// RoundsUnderLoss compares effective rounds per decided instance for CHAP
-// against rounds per committed slot for the RSM when the channel drops
+// rsmRoundsPerDecision preserves the historical two-value signature used by
+// the package tests.
+func rsmRoundsPerDecision(n, slots int, adv radio.Adversary, seed int64) (float64, int) {
+	mean, maxMsg, _ := rsmRun(n, slots, adv, seed)
+	return mean, maxMsg
+}
+
+// roundsUnderLossCell compares effective rounds per decided instance for
+// CHAP against rounds per committed slot for the RSM when the channel drops
 // messages: CHAP instances cost 3 rounds and fail independently (the next
 // instance is a fresh chance), while RSM attempts serialize.
-func RoundsUnderLoss(n int, lossRates []float64, instances int) *metrics.Table {
-	t := metrics.NewTable("E2c — rounds per decided instance under message loss",
-		"loss p", "CHAP rounds/decided", "CHAP decided rate", "RSM rounds/commit")
-	for _, p := range lossRates {
-		adv := radio.NewRandomLoss(p, 0, cd.Never, 77)
-		c := newCluster(clusterOpts{
-			n:         n,
-			detector:  cd.EventuallyAC{Racc: cd.Never},
-			adversary: adv,
-			seed:      11,
-		})
-		c.runInstances(instances)
-		rep := c.rec.Report()
-		chap := math.Inf(1)
-		if rep.DecidedRate > 0 {
-			chap = float64(cha.RoundsPerInstance) / rep.DecidedRate
-		}
-
-		rsm, _ := rsmRoundsPerDecision(n, instances, radio.NewRandomLoss(p, 0, cd.Never, 78), 12)
-		t.AddRow(fmt.Sprintf("%.1f", p), metrics.F(chap), metrics.F(rep.DecidedRate), metrics.F(rsm))
+func roundsUnderLossCell(c *harness.Cell) []harness.Row {
+	n, instances, p := c.Params.Int("n"), c.Params.Int("instances"), c.Params.Float("p")
+	base := c.Base()
+	adv := radio.NewRandomLoss(p, 0, cd.Never, 77+base)
+	cl := newCluster(clusterOpts{
+		n:         n,
+		detector:  cd.EventuallyAC{Racc: cd.Never},
+		adversary: adv,
+		seed:      11 + base,
+	})
+	cl.runInstances(instances)
+	c.CountRounds(cl.eng.Stats().Rounds)
+	rep := cl.rec.Report()
+	chap := math.Inf(1)
+	if rep.DecidedRate > 0 {
+		chap = float64(cha.RoundsPerInstance) / rep.DecidedRate
 	}
-	t.Notes = "loss applied forever (r_cf = infinity); CHAP safety holds throughout"
-	return t
+
+	rsm, _, rsmSimRounds := rsmRun(n, instances, radio.NewRandomLoss(p, 0, cd.Never, 78+base), 12+base)
+	c.CountRounds(rsmSimRounds)
+	return []harness.Row{{
+		harness.FloatText(fmt.Sprintf("%.1f", p), p),
+		harness.Float(chap), harness.Float(rep.DecidedRate), harness.Float(rsm),
+	}}
+}
+
+// RoundsUnderLoss is the legacy table entry point.
+func RoundsUnderLoss(n int, lossRates []float64, instances int) *metrics.Table {
+	var rows []harness.Row
+	for _, p := range lossRates {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints:   map[string]int{"n": n, "instances": instances},
+			Floats: map[string]float64{"p": p},
+		}}
+		rows = append(rows, roundsUnderLossCell(c)...)
+	}
+	return e2cDesc.TableOf(rows)
 }

@@ -6,10 +6,33 @@ import (
 
 	"vinfra/internal/cd"
 	"vinfra/internal/cha"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 )
+
+var e3Desc = harness.Descriptor{
+	ID:      "E3",
+	Group:   "E3",
+	Title:   "E3 — Property 4: color distribution and spread vs loss rate",
+	Notes:   "spread must never exceed 1 (Lemma 5); violations must be 0",
+	Columns: []string{"loss p", "green", "yellow", "orange", "red", "max spread", "violations"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for i, p := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9} {
+			grid = append(grid, harness.Params{
+				Label:  fmt.Sprintf("p=%.1f", p),
+				Ints:   map[string]int{"n": 5, "instances": suiteInstances(quick), "i": i},
+				Floats: map[string]float64{"p": p},
+			})
+		}
+		return grid
+	},
+	Run: colorSpreadCell,
+}
+
+func init() { harness.Register(e3Desc) }
 
 // ColorCensus counts the final colors every node assigned across an
 // adversarial run, plus the per-instance spread.
@@ -37,43 +60,55 @@ func (cc *ColorCensus) fraction(c cha.Color) float64 {
 	return float64(cc.counts[c]) / float64(cc.total)
 }
 
-// ColorSpread sweeps the adversary's loss rate and reports the color
+// colorSpreadCell runs one loss rate of the sweep and reports the color
 // distribution plus the maximum per-instance spread — Property 4 / Lemma 5
 // require the spread to never exceed one shade.
+func colorSpreadCell(c *harness.Cell) []harness.Row {
+	n, instances, i := c.Params.Int("n"), c.Params.Int("instances"), c.Params.Int("i")
+	p := c.Params.Float("p")
+	seed := int64(i*31+5) + c.Base()
+	census := newColorCensus()
+	adv := radio.NewRandomLoss(p, p/2, cd.Never, seed)
+	cl := newCluster(clusterOpts{
+		n:         n,
+		detector:  cd.EventuallyAC{Racc: cd.Never, FalsePositiveRate: p / 4},
+		adversary: adv,
+		seed:      seed,
+	})
+	// Observe colors through the engine round hook: read each replica's
+	// color for the instance at the end of its veto-2 round.
+	cl.eng.OnRound(func(r sim.Round, _ []sim.Transmission, _ []sim.Reception) {
+		k, phase := cha.PhaseOf(r)
+		if phase != cha.PhaseVeto2 {
+			return
+		}
+		for _, rep := range cl.replicas {
+			census.record(cha.Output{Instance: k, Color: rep.Core().Status(k)})
+		}
+	})
+	cl.runInstances(instances)
+	c.CountRounds(cl.eng.Stats().Rounds)
+	rep := cl.rec.Report()
+	return []harness.Row{{
+		harness.FloatText(fmt.Sprintf("%.1f", p), p),
+		harness.Float(census.fraction(cha.Green)),
+		harness.Float(census.fraction(cha.Yellow)),
+		harness.Float(census.fraction(cha.Orange)),
+		harness.Float(census.fraction(cha.Red)),
+		harness.Int(rep.MaxColorSpread),
+		harness.Int(rep.ColorSpreadViolations),
+	}}
+}
+
+// ColorSpread is the legacy table entry point for the loss-rate sweep.
 func ColorSpread(n int, lossRates []float64, instances int) *metrics.Table {
-	t := metrics.NewTable("E3 — Property 4: color distribution and spread vs loss rate",
-		"loss p", "green", "yellow", "orange", "red", "max spread", "violations")
+	var rows []harness.Row
 	for i, p := range lossRates {
-		seed := int64(i*31 + 5)
-		census := newColorCensus()
-		adv := radio.NewRandomLoss(p, p/2, cd.Never, seed)
-		c := newCluster(clusterOpts{
-			n:         n,
-			detector:  cd.EventuallyAC{Racc: cd.Never, FalsePositiveRate: p / 4},
-			adversary: adv,
-			seed:      seed,
-		})
-		// Observe colors through the engine round hook: read each
-		// replica's color for the instance at the end of its veto-2 round.
-		c.eng.OnRound(func(r sim.Round, _ []sim.Transmission, _ []sim.Reception) {
-			k, phase := cha.PhaseOf(r)
-			if phase != cha.PhaseVeto2 {
-				return
-			}
-			for _, rep := range c.replicas {
-				census.record(cha.Output{Instance: k, Color: rep.Core().Status(k)})
-			}
-		})
-		c.runInstances(instances)
-		rep := c.rec.Report()
-		t.AddRow(fmt.Sprintf("%.1f", p),
-			metrics.F(census.fraction(cha.Green)),
-			metrics.F(census.fraction(cha.Yellow)),
-			metrics.F(census.fraction(cha.Orange)),
-			metrics.F(census.fraction(cha.Red)),
-			metrics.D(rep.MaxColorSpread),
-			metrics.D(rep.ColorSpreadViolations))
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints:   map[string]int{"n": n, "instances": instances, "i": i},
+			Floats: map[string]float64{"p": p},
+		}}
+		rows = append(rows, colorSpreadCell(c)...)
 	}
-	t.Notes = "spread must never exceed 1 (Lemma 5); violations must be 0"
-	return t
+	return e3Desc.TableOf(rows)
 }

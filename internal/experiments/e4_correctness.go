@@ -5,46 +5,87 @@ import (
 
 	"vinfra/internal/cd"
 	"vinfra/internal/cha"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 )
 
-// CorrectnessCampaign runs a randomized adversarial campaign and verifies
-// the CHA guarantees: agreement and validity must never be violated
-// (Theorems 10, 13), the color spread must stay within one shade
+var e4Desc = harness.Descriptor{
+	ID:      "E4",
+	Group:   "E4",
+	Title:   "E4 — Theorems 10/12/13: randomized adversarial campaign",
+	Notes:   "violations must be 0; k_st is the first instance after which every node decides every instance",
+	Columns: []string{"r_cf", "runs", "agreement viol", "validity viol", "spread viol", "liveness ok", "mean k_st", "bound k_cf+2"},
+	Grid: func(quick bool) []harness.Params {
+		runs := 30
+		if quick {
+			runs = 8
+		}
+		var grid []harness.Params
+		for _, rcf := range []int{30, 90, 180} {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("rcf=%d", rcf),
+				Ints:  map[string]int{"rcf": rcf, "runs": runs, "instances_after": suiteInstances(quick) / 4},
+			})
+		}
+		return grid
+	},
+	Run: correctnessCell,
+}
+
+func init() { harness.Register(e4Desc) }
+
+// correctnessCell runs the randomized adversarial campaign for one r_cf and
+// verifies the CHA guarantees: agreement and validity must never be
+// violated (Theorems 10, 13), the color spread must stay within one shade
 // (Property 4), and after the channel stabilizes, liveness must hold with a
 // stabilization instance tracking r_cf (Theorem 12).
-func CorrectnessCampaign(seeds int, rcfs []sim.Round, instancesAfter int) *metrics.Table {
-	t := metrics.NewTable("E4 — Theorems 10/12/13: randomized adversarial campaign",
-		"r_cf", "runs", "agreement viol", "validity viol", "spread viol", "liveness ok", "mean k_st", "bound k_cf+2")
-	for _, rcf := range rcfs {
-		var agr, val, spread, live int
-		var kst metrics.Series
-		for s := 0; s < seeds; s++ {
-			seed := int64(s*97 + 13)
-			n := 3 + s%5
-			p := 0.2 + 0.1*float64(s%6)
-			c := newCluster(clusterOpts{
-				n:         n,
-				detector:  cd.EventuallyAC{Racc: rcf, FalsePositiveRate: p / 2},
-				adversary: radio.NewRandomLoss(p, p/2, rcf, seed*7),
-				seed:      seed,
-			})
-			c.runInstances(int(rcf)/cha.RoundsPerInstance + instancesAfter)
-			rep := c.rec.Report()
-			agr += rep.AgreementViolations
-			val += rep.ValidityViolations
-			spread += rep.ColorSpreadViolations
-			if rep.LivenessOK {
-				live++
-				kst.AddInt(int(rep.Stabilization))
-			}
+func correctnessCell(c *harness.Cell) []harness.Row {
+	rcf := sim.Round(c.Params.Int("rcf"))
+	runs := c.Params.Int("runs")
+	instancesAfter := c.Params.Int("instances_after")
+
+	var agr, val, spread, live int
+	var kst metrics.Series
+	for s := 0; s < runs; s++ {
+		seed := int64(s*97+13) + c.Base()
+		n := 3 + s%5
+		p := 0.2 + 0.1*float64(s%6)
+		cl := newCluster(clusterOpts{
+			n:         n,
+			detector:  cd.EventuallyAC{Racc: rcf, FalsePositiveRate: p / 2},
+			adversary: radio.NewRandomLoss(p, p/2, rcf, seed*7),
+			seed:      seed,
+		})
+		cl.runInstances(int(rcf)/cha.RoundsPerInstance + instancesAfter)
+		c.CountRounds(cl.eng.Stats().Rounds)
+		rep := cl.rec.Report()
+		agr += rep.AgreementViolations
+		val += rep.ValidityViolations
+		spread += rep.ColorSpreadViolations
+		if rep.LivenessOK {
+			live++
+			kst.AddInt(int(rep.Stabilization))
 		}
-		bound := int(rcf)/cha.RoundsPerInstance + 2
-		t.AddRow(metrics.D(int(rcf)), metrics.D(seeds), metrics.D(agr), metrics.D(val),
-			metrics.D(spread), fmt.Sprintf("%d/%d", live, seeds), metrics.F(kst.Mean()), metrics.D(bound))
 	}
-	t.Notes = "violations must be 0; k_st is the first instance after which every node decides every instance"
-	return t
+	bound := int(rcf)/cha.RoundsPerInstance + 2
+	return []harness.Row{{
+		harness.Int(int(rcf)), harness.Int(runs), harness.Int(agr), harness.Int(val),
+		harness.Int(spread),
+		harness.FloatText(fmt.Sprintf("%d/%d", live, runs), float64(live)/float64(runs)),
+		harness.Float(kst.Mean()), harness.Int(bound),
+	}}
+}
+
+// CorrectnessCampaign is the legacy table entry point.
+func CorrectnessCampaign(seeds int, rcfs []sim.Round, instancesAfter int) *metrics.Table {
+	var rows []harness.Row
+	for _, rcf := range rcfs {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"rcf": int(rcf), "runs": seeds, "instances_after": instancesAfter},
+		}}
+		rows = append(rows, correctnessCell(c)...)
+	}
+	return e4Desc.TableOf(rows)
 }

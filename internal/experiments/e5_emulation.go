@@ -1,60 +1,138 @@
 package experiments
 
 import (
+	"fmt"
+
 	"vinfra/internal/geo"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 )
 
-// EmulationOverheadVsDensity measures the constant per-virtual-round cost
-// as the virtual node density grows: the schedule length s depends only on
-// the deployment's conflict degree, and the real rounds per virtual round
-// are exactly s+12 (Section 4.3), independent of execution length.
-func EmulationOverheadVsDensity(vrounds int) *metrics.Table {
-	t := metrics.NewTable("E5a — emulation overhead vs virtual-node density",
-		"deployment", "vnodes", "schedule s", "rounds/vround", "measured", "availability")
-	deployments := []struct {
-		name string
-		grid geo.Grid
-	}{
-		{"1x1", geo.Grid{Spacing: 6, Cols: 1, Rows: 1}},
-		{"1x2", geo.Grid{Spacing: 6, Cols: 2, Rows: 1}},
-		{"2x2", geo.Grid{Spacing: 6, Cols: 2, Rows: 2}},
-		{"3x3", geo.Grid{Spacing: 6, Cols: 3, Rows: 3}},
-	}
-	for _, d := range deployments {
-		locs := d.grid.Locations()
-		bed := newVIBed(viBedOpts{locs: locs, replicasPer: 2, fixedLeader: true})
-		per := bed.dep.Timing().RoundsPerVRound()
-		bed.runVRounds(vrounds)
-		measured := float64(bed.eng.Stats().Rounds) / float64(vrounds)
-		t.AddRow(d.name, metrics.D(len(locs)), metrics.D(bed.dep.Schedule().Len()),
-			metrics.D(per), metrics.F(measured), metrics.F(bed.meanAvailability()))
-	}
-	t.Notes = "rounds per virtual round = s+12; depends only on density, not on execution length"
-	return t
+// e5Deployments are the density sweep's grid shapes.
+var e5Deployments = []struct {
+	name string
+	grid geo.Grid
+}{
+	{"1x1", geo.Grid{Spacing: 6, Cols: 1, Rows: 1}},
+	{"1x2", geo.Grid{Spacing: 6, Cols: 2, Rows: 1}},
+	{"2x2", geo.Grid{Spacing: 6, Cols: 2, Rows: 2}},
+	{"3x3", geo.Grid{Spacing: 6, Cols: 3, Rows: 3}},
 }
 
-// EmulationOverheadVsReplicas shows the per-virtual-round cost is constant
-// in the number of replicas per virtual node (the agreement protocol never
+var e5aDesc = harness.Descriptor{
+	ID:      "E5a",
+	Group:   "E5",
+	Title:   "E5a — emulation overhead vs virtual-node density",
+	Notes:   "rounds per virtual round = s+12; depends only on density, not on execution length",
+	Columns: []string{"deployment", "vnodes", "schedule s", "rounds/vround", "measured", "availability"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, d := range e5Deployments {
+			grid = append(grid, harness.Params{
+				Label: d.name,
+				Ints:  map[string]int{"vrounds": suiteVRounds(quick)},
+				Strs:  map[string]string{"deployment": d.name},
+			})
+		}
+		return grid
+	},
+	Run: emulationDensityCell,
+}
+
+var e5bDesc = harness.Descriptor{
+	ID:      "E5b",
+	Group:   "E5",
+	Title:   "E5b — emulation overhead vs replicas per virtual node",
+	Notes:   "rounds constant in replica count; only transmissions within fixed phases vary",
+	Columns: []string{"replicas", "rounds/vround", "transmissions/vround", "availability"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, n := range sweep(quick, []int{1, 2, 4, 8}, []int{1, 4}) {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("replicas=%d", n),
+				Ints:  map[string]int{"replicas": n, "vrounds": suiteVRounds(quick)},
+			})
+		}
+		return grid
+	},
+	Run: emulationReplicasCell,
+}
+
+func init() {
+	harness.Register(e5aDesc)
+	harness.Register(e5bDesc)
+}
+
+// emulationDensityCell measures the constant per-virtual-round cost for one
+// deployment shape: the schedule length s depends only on the deployment's
+// conflict degree, and the real rounds per virtual round are exactly s+12
+// (Section 4.3), independent of execution length.
+func emulationDensityCell(c *harness.Cell) []harness.Row {
+	name := c.Params.Str("deployment")
+	vrounds := c.Params.Int("vrounds")
+	for _, d := range e5Deployments {
+		if d.name != name {
+			continue
+		}
+		locs := d.grid.Locations()
+		bed := newVIBed(viBedOpts{locs: locs, replicasPer: 2, fixedLeader: true, seed: c.Seed})
+		per := bed.dep.Timing().RoundsPerVRound()
+		bed.runVRounds(vrounds)
+		c.CountRounds(bed.eng.Stats().Rounds)
+		measured := float64(bed.eng.Stats().Rounds) / float64(vrounds)
+		return []harness.Row{{
+			harness.Str(d.name), harness.Int(len(locs)), harness.Int(bed.dep.Schedule().Len()),
+			harness.Int(per), harness.Float(measured), harness.Float(bed.meanAvailability()),
+		}}
+	}
+	panic(fmt.Sprintf("e5: unknown deployment %q", name))
+}
+
+// EmulationOverheadVsDensity is the legacy table entry point.
+func EmulationOverheadVsDensity(vrounds int) *metrics.Table {
+	var rows []harness.Row
+	for _, d := range e5Deployments {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"vrounds": vrounds},
+			Strs: map[string]string{"deployment": d.name},
+		}}
+		rows = append(rows, emulationDensityCell(c)...)
+	}
+	return e5aDesc.TableOf(rows)
+}
+
+// emulationReplicasCell shows the per-virtual-round cost is constant in the
+// number of replicas per virtual node (the agreement protocol never
 // serializes over participants — the heart of Theorem 14 applied to the
 // emulation).
+func emulationReplicasCell(c *harness.Cell) []harness.Row {
+	n, vrounds := c.Params.Int("replicas"), c.Params.Int("vrounds")
+	bed := newVIBed(viBedOpts{
+		locs:        []geo.Point{{X: 0, Y: 0}},
+		replicasPer: n,
+		fixedLeader: true,
+		seed:        c.Seed,
+	})
+	bed.addPinger(geo.Point{X: 1.2, Y: -1})
+	bed.runVRounds(vrounds)
+	st := bed.eng.Stats()
+	c.CountRounds(st.Rounds)
+	return []harness.Row{{
+		harness.Int(n),
+		harness.Float(float64(st.Rounds) / float64(vrounds)),
+		harness.Float(float64(st.Transmissions) / float64(vrounds)),
+		harness.Float(bed.availability(0)),
+	}}
+}
+
+// EmulationOverheadVsReplicas is the legacy table entry point.
 func EmulationOverheadVsReplicas(replicaCounts []int, vrounds int) *metrics.Table {
-	t := metrics.NewTable("E5b — emulation overhead vs replicas per virtual node",
-		"replicas", "rounds/vround", "transmissions/vround", "availability")
+	var rows []harness.Row
 	for _, n := range replicaCounts {
-		bed := newVIBed(viBedOpts{
-			locs:        []geo.Point{{X: 0, Y: 0}},
-			replicasPer: n,
-			fixedLeader: true,
-		})
-		bed.addPinger(geo.Point{X: 1.2, Y: -1})
-		bed.runVRounds(vrounds)
-		st := bed.eng.Stats()
-		t.AddRow(metrics.D(n),
-			metrics.F(float64(st.Rounds)/float64(vrounds)),
-			metrics.F(float64(st.Transmissions)/float64(vrounds)),
-			metrics.F(bed.availability(0)))
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"replicas": n, "vrounds": vrounds},
+		}}
+		rows = append(rows, emulationReplicasCell(c)...)
 	}
-	t.Notes = "rounds constant in replica count; only transmissions within fixed phases vary"
-	return t
+	return e5bDesc.TableOf(rows)
 }

@@ -1,58 +1,92 @@
 package experiments
 
 import (
+	"fmt"
+
 	"vinfra/internal/geo"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 	"vinfra/internal/sim"
 	"vinfra/internal/vi"
 )
 
-// ChurnSurvival measures virtual node availability and join latency as the
-// replica population turns over: every churnPeriod virtual rounds, the
-// oldest replica leaves and a fresh device arrives and joins. The virtual
-// node must remain available as long as some replica is always present
-// (Section 4.2's progress condition).
-func ChurnSurvival(churnPeriods []int, vrounds int) *metrics.Table {
-	t := metrics.NewTable("E6 — churn: availability and join latency vs turnover period",
-		"churn period (vrounds)", "turnovers", "availability", "mean join latency (vrounds)", "resets")
-	for _, period := range churnPeriods {
-		bed := newVIBed(viBedOpts{
-			locs:        []geo.Point{{X: 0, Y: 0}},
-			replicasPer: 3,
-			seed:        int64(period),
-		})
-		bed.addPinger(geo.Point{X: 1.2, Y: -1})
-
-		per := bed.dep.Timing().RoundsPerVRound()
-		var joinLatency metrics.Series
-		resets := 0
-		turnovers := 0
-
-		// Replica IDs: 0..2 are the bootstrap replicas; the pinger is 3.
-		oldest := 0
-		alive := []sim.NodeID{0, 1, 2}
-
-		for vr := 0; vr < vrounds; vr++ {
-			if period > 0 && vr > 0 && vr%period == 0 && oldest < len(alive) {
-				// Oldest leaves; a new device arrives nearby.
-				bed.eng.Leave(alive[oldest])
-				oldest++
-				arrivedAt := vr
-				newID := sim.NodeID(bed.eng.NumNodes())
-				bed.attachEmulator(geo.Point{X: 0.2 * float64(vr%5), Y: -0.3}, false, vi.EmulatorHooks{
-					OnJoin: func(_ vi.VNodeID, joinVR int) {
-						joinLatency.AddInt(joinVR - arrivedAt)
-					},
-					OnReset: func(vi.VNodeID, int) { resets++ },
-				})
-				alive = append(alive, newID)
-				turnovers++
-			}
-			bed.eng.Run(per)
+var e6Desc = harness.Descriptor{
+	ID:      "E6",
+	Group:   "E6",
+	Title:   "E6 — churn: availability and join latency vs turnover period",
+	Notes:   "backoff contention manager throughout; resets indicate the virtual node died (state loss)",
+	Columns: []string{"churn period (vrounds)", "turnovers", "availability", "mean join latency (vrounds)", "resets"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, period := range sweep(quick, []int{2, 4, 8}, []int{4}) {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("period=%d", period),
+				Ints:  map[string]int{"period": period, "vrounds": suiteVRounds(quick) * 2},
+			})
 		}
-		t.AddRow(metrics.D(period), metrics.D(turnovers),
-			metrics.F(bed.availability(0)), metrics.F(joinLatency.Mean()), metrics.D(resets))
+		return grid
+	},
+	Run: churnCell,
+}
+
+func init() { harness.Register(e6Desc) }
+
+// churnCell measures virtual node availability and join latency for one
+// turnover period: every period virtual rounds, the oldest replica leaves
+// and a fresh device arrives and joins. The virtual node must remain
+// available as long as some replica is always present (Section 4.2's
+// progress condition).
+func churnCell(c *harness.Cell) []harness.Row {
+	period, vrounds := c.Params.Int("period"), c.Params.Int("vrounds")
+	bed := newVIBed(viBedOpts{
+		locs:        []geo.Point{{X: 0, Y: 0}},
+		replicasPer: 3,
+		seed:        int64(period) + c.Base(),
+	})
+	bed.addPinger(geo.Point{X: 1.2, Y: -1})
+
+	per := bed.dep.Timing().RoundsPerVRound()
+	var joinLatency metrics.Series
+	resets := 0
+	turnovers := 0
+
+	// Replica IDs: 0..2 are the bootstrap replicas; the pinger is 3.
+	oldest := 0
+	alive := []sim.NodeID{0, 1, 2}
+
+	for vr := 0; vr < vrounds; vr++ {
+		if period > 0 && vr > 0 && vr%period == 0 && oldest < len(alive) {
+			// Oldest leaves; a new device arrives nearby.
+			bed.eng.Leave(alive[oldest])
+			oldest++
+			arrivedAt := vr
+			newID := sim.NodeID(bed.eng.NumNodes())
+			bed.attachEmulator(geo.Point{X: 0.2 * float64(vr%5), Y: -0.3}, false, vi.EmulatorHooks{
+				OnJoin: func(_ vi.VNodeID, joinVR int) {
+					joinLatency.AddInt(joinVR - arrivedAt)
+				},
+				OnReset: func(vi.VNodeID, int) { resets++ },
+			})
+			alive = append(alive, newID)
+			turnovers++
+		}
+		bed.eng.Run(per)
 	}
-	t.Notes = "backoff contention manager throughout; resets indicate the virtual node died (state loss)"
-	return t
+	c.CountRounds(bed.eng.Stats().Rounds)
+	return []harness.Row{{
+		harness.Int(period), harness.Int(turnovers),
+		harness.Float(bed.availability(0)), harness.Float(joinLatency.Mean()), harness.Int(resets),
+	}}
+}
+
+// ChurnSurvival is the legacy table entry point.
+func ChurnSurvival(churnPeriods []int, vrounds int) *metrics.Table {
+	var rows []harness.Row
+	for _, period := range churnPeriods {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"period": period, "vrounds": vrounds},
+		}}
+		rows = append(rows, churnCell(c)...)
+	}
+	return e6Desc.TableOf(rows)
 }

@@ -2,16 +2,61 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"vinfra/internal/apps"
 	"vinfra/internal/cd"
 	"vinfra/internal/cm"
 	"vinfra/internal/geo"
+	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 	"vinfra/internal/vi"
 )
+
+var e9aDesc = harness.Descriptor{
+	ID:      "E9a",
+	Group:   "E9",
+	Title:   "E9a — geographic routing over the virtual backbone",
+	Notes:   "latency grows with hop count (each hop waits for its scheduled slot); delivery via redundant relays",
+	Columns: []string{"chain length", "schedule s", "delivered", "mean latency (vrounds)"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, hops := range sweep(quick, []int{2, 3, 5, 8}, []int{2, 4}) {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("hops=%d", hops),
+				Ints:  map[string]int{"hops": hops, "packets": 4},
+			})
+		}
+		return grid
+	},
+	Run: routingLatencyCell,
+}
+
+var e9bDesc = harness.Descriptor{
+	ID:      "E9b",
+	Group:   "E9",
+	Title:   "E9b — mutual exclusion throughput vs clients",
+	Notes:   "mutex violations must be 0; throughput bounded by client-channel contention",
+	Columns: []string{"clients", "completed cycles", "cycles/100 vrounds", "mutex violations"},
+	Grid: func(quick bool) []harness.Params {
+		var grid []harness.Params
+		for _, n := range sweep(quick, []int{1, 2, 4, 8}, []int{2, 4}) {
+			grid = append(grid, harness.Params{
+				Label: fmt.Sprintf("clients=%d", n),
+				Ints:  map[string]int{"clients": n, "vrounds": suiteVRounds(quick) * 3},
+			})
+		}
+		return grid
+	},
+	Run: lockThroughputCell,
+}
+
+func init() {
+	harness.Register(e9aDesc)
+	harness.Register(e9bDesc)
+}
 
 // appBed wires a deployment with an arbitrary program and fixed leaders.
 func appBed(locs []geo.Point, replicasPer int, program func(vi.VNodeID) vi.Program, seed int64) (*sim.Engine, *vi.Deployment) {
@@ -44,55 +89,75 @@ func appBed(locs []geo.Point, replicasPer int, program func(vi.VNodeID) vi.Progr
 	return eng, dep
 }
 
-// RoutingLatency measures end-to-end delivery latency (in virtual rounds)
-// over virtual-node chains of growing length — the application-level
-// payoff of the infrastructure: latency grows with distance (each hop
-// waits for the relay's scheduled slot), delivery stays reliable.
-func RoutingLatency(chainLengths []int, packets int) *metrics.Table {
-	t := metrics.NewTable("E9a — geographic routing over the virtual backbone",
-		"chain length", "schedule s", "delivered", "mean latency (vrounds)")
-	for _, hops := range chainLengths {
-		locs := make([]geo.Point, hops)
-		for i := range locs {
-			locs[i] = geo.Point{X: 5 * float64(i)}
-		}
-		sched := vi.BuildSchedule(locs, Radii)
-		eng, dep := appBed(locs, 2, apps.RoutedProgram(sched, locs), int64(hops))
-
-		east := locs[len(locs)-1]
-		sends := make(map[int]*vi.Message, packets)
-		sendRound := make(map[string]int, packets)
-		gap := 3 * sched.Len()
-		for p := 0; p < packets; p++ {
-			id := fmt.Sprintf("pkt-%d", p)
-			vr := 2 + p*gap
-			sends[vr] = apps.RouteSend(east, id, "payload")
-			sendRound[id] = vr
-		}
-		sender := &apps.RouterClient{Sends: sends}
-		receiver := &apps.RouterClient{}
-		var lat metrics.Series
-		recvRound := make(map[string]int)
-		eng.Attach(geo.Point{X: -1, Y: -1}, nil, func(env sim.Env) sim.Node {
-			return dep.NewClient(env, sender)
-		})
-		eng.Attach(geo.Point{X: east.X + 1, Y: 1}, nil, func(env sim.Env) sim.Node {
-			return dep.NewClient(env, recordingClient{inner: receiver, seen: recvRound})
-		})
-
-		total := 2 + packets*gap + 8*sched.Len()*hops
-		eng.Run(total * dep.Timing().RoundsPerVRound())
-
-		for id, vr := range recvRound {
-			if sent, ok := sendRound[id]; ok {
-				lat.AddInt(vr - sent)
-			}
-		}
-		t.AddRow(metrics.D(hops), metrics.D(sched.Len()),
-			fmt.Sprintf("%d/%d", len(receiver.Received), packets), metrics.F(lat.Mean()))
+// routingLatencyCell measures end-to-end delivery latency (in virtual
+// rounds) over one virtual-node chain length — the application-level payoff
+// of the infrastructure: latency grows with distance (each hop waits for
+// the relay's scheduled slot), delivery stays reliable.
+func routingLatencyCell(c *harness.Cell) []harness.Row {
+	hops, packets := c.Params.Int("hops"), c.Params.Int("packets")
+	locs := make([]geo.Point, hops)
+	for i := range locs {
+		locs[i] = geo.Point{X: 5 * float64(i)}
 	}
-	t.Notes = "latency grows with hop count (each hop waits for its scheduled slot); delivery via redundant relays"
-	return t
+	sched := vi.BuildSchedule(locs, Radii)
+	eng, dep := appBed(locs, 2, apps.RoutedProgram(sched, locs), int64(hops)+c.Base())
+
+	east := locs[len(locs)-1]
+	sends := make(map[int]*vi.Message, packets)
+	sendRound := make(map[string]int, packets)
+	gap := 3 * sched.Len()
+	for p := 0; p < packets; p++ {
+		id := fmt.Sprintf("pkt-%d", p)
+		vr := 2 + p*gap
+		sends[vr] = apps.RouteSend(east, id, "payload")
+		sendRound[id] = vr
+	}
+	sender := &apps.RouterClient{Sends: sends}
+	receiver := &apps.RouterClient{}
+	var lat metrics.Series
+	recvRound := make(map[string]int)
+	eng.Attach(geo.Point{X: -1, Y: -1}, nil, func(env sim.Env) sim.Node {
+		return dep.NewClient(env, sender)
+	})
+	eng.Attach(geo.Point{X: east.X + 1, Y: 1}, nil, func(env sim.Env) sim.Node {
+		return dep.NewClient(env, recordingClient{inner: receiver, seen: recvRound})
+	})
+
+	total := 2 + packets*gap + 8*sched.Len()*hops
+	eng.Run(total * dep.Timing().RoundsPerVRound())
+	c.CountRounds(eng.Stats().Rounds)
+
+	// Iterate receptions in sorted packet-ID order: map order is
+	// randomized, and the mean's float summation order must be
+	// deterministic for byte-identical reports.
+	ids := make([]string, 0, len(recvRound))
+	for id := range recvRound {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if sent, ok := sendRound[id]; ok {
+			lat.AddInt(recvRound[id] - sent)
+		}
+	}
+	return []harness.Row{{
+		harness.Int(hops), harness.Int(sched.Len()),
+		harness.FloatText(fmt.Sprintf("%d/%d", len(receiver.Received), packets),
+			float64(len(receiver.Received))/float64(packets)),
+		harness.Float(lat.Mean()),
+	}}
+}
+
+// RoutingLatency is the legacy table entry point.
+func RoutingLatency(chainLengths []int, packets int) *metrics.Table {
+	var rows []harness.Row
+	for _, hops := range chainLengths {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"hops": hops, "packets": packets},
+		}}
+		rows = append(rows, routingLatencyCell(c)...)
+	}
+	return e9aDesc.TableOf(rows)
 }
 
 // recordingClient wraps a RouterClient to record the virtual round of each
@@ -114,47 +179,57 @@ func (c recordingClient) Step(vround int, recv []vi.Message, collision bool) *vi
 	return out
 }
 
-// LockThroughput measures completed lock cycles per 100 virtual rounds as
-// client count grows — coordination throughput of a virtual-node arbiter.
-func LockThroughput(clientCounts []int, vrounds int) *metrics.Table {
-	t := metrics.NewTable("E9b — mutual exclusion throughput vs clients",
-		"clients", "completed cycles", "cycles/100 vrounds", "mutex violations")
-	for _, n := range clientCounts {
-		locs := []geo.Point{{X: 0, Y: 0}}
-		sched := vi.BuildSchedule(locs, Radii)
-		eng, dep := appBed(locs, 3, apps.LockProgram(sched), int64(n))
+// lockThroughputCell measures completed lock cycles per 100 virtual rounds
+// for one client count — coordination throughput of a virtual-node arbiter.
+func lockThroughputCell(c *harness.Cell) []harness.Row {
+	n, vrounds := c.Params.Int("clients"), c.Params.Int("vrounds")
+	locs := []geo.Point{{X: 0, Y: 0}}
+	sched := vi.BuildSchedule(locs, Radii)
+	eng, dep := appBed(locs, 3, apps.LockProgram(sched), int64(n)+c.Base())
 
-		clients := make([]*apps.LockClient, n)
-		for i := range clients {
-			clients[i] = &apps.LockClient{
-				Name:       fmt.Sprintf("c%02d", i),
-				HoldRounds: 2,
-				Cycles:     1 << 20, // effectively unbounded
-			}
-			angle := float64(i) / float64(n)
-			pos := geo.Point{X: 1.5 * (0.5 - angle), Y: 1.2 - 2.4*angle}
-			c := clients[i]
-			eng.Attach(pos, nil, func(env sim.Env) sim.Node {
-				return dep.NewClient(env, c)
-			})
+	clients := make([]*apps.LockClient, n)
+	for i := range clients {
+		clients[i] = &apps.LockClient{
+			Name:       fmt.Sprintf("c%02d", i),
+			HoldRounds: 2,
+			Cycles:     1 << 20, // effectively unbounded
 		}
-		eng.Run(vrounds * dep.Timing().RoundsPerVRound())
-
-		total := 0
-		claimed := make(map[int]string)
-		violations := 0
-		for _, c := range clients {
-			total += c.Completed()
-			for _, vr := range c.CriticalRounds {
-				if other, ok := claimed[vr]; ok && other != c.Name {
-					violations++
-				}
-				claimed[vr] = c.Name
-			}
-		}
-		t.AddRow(metrics.D(n), metrics.D(total),
-			metrics.F(float64(total)*100/float64(vrounds)), metrics.D(violations))
+		angle := float64(i) / float64(n)
+		pos := geo.Point{X: 1.5 * (0.5 - angle), Y: 1.2 - 2.4*angle}
+		cli := clients[i]
+		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
+			return dep.NewClient(env, cli)
+		})
 	}
-	t.Notes = "mutex violations must be 0; throughput bounded by client-channel contention"
-	return t
+	eng.Run(vrounds * dep.Timing().RoundsPerVRound())
+	c.CountRounds(eng.Stats().Rounds)
+
+	total := 0
+	claimed := make(map[int]string)
+	violations := 0
+	for _, cli := range clients {
+		total += cli.Completed()
+		for _, vr := range cli.CriticalRounds {
+			if other, ok := claimed[vr]; ok && other != cli.Name {
+				violations++
+			}
+			claimed[vr] = cli.Name
+		}
+	}
+	return []harness.Row{{
+		harness.Int(n), harness.Int(total),
+		harness.Float(float64(total) * 100 / float64(vrounds)), harness.Int(violations),
+	}}
+}
+
+// LockThroughput is the legacy table entry point.
+func LockThroughput(clientCounts []int, vrounds int) *metrics.Table {
+	var rows []harness.Row
+	for _, n := range clientCounts {
+		c := &harness.Cell{Seed: 1, Params: harness.Params{
+			Ints: map[string]int{"clients": n, "vrounds": vrounds},
+		}}
+		rows = append(rows, lockThroughputCell(c)...)
+	}
+	return e9bDesc.TableOf(rows)
 }

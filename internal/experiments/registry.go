@@ -1,0 +1,29 @@
+package experiments
+
+// Shared grid helpers for the harness descriptors registered across the
+// eN files: the suite-wide full/quick sweep sizes that cmd/chabench used
+// to compute inline.
+
+// sweep picks the full or quick variant of a parameter sweep.
+func sweep(quick bool, full, quickVal []int) []int {
+	if quick {
+		return quickVal
+	}
+	return full
+}
+
+// suiteInstances is the per-experiment CHA instance budget (full/quick).
+func suiteInstances(quick bool) int {
+	if quick {
+		return 50
+	}
+	return 200
+}
+
+// suiteVRounds is the per-experiment virtual-round budget (full/quick).
+func suiteVRounds(quick bool) int {
+	if quick {
+		return 10
+	}
+	return 40
+}

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"vinfra/internal/metrics"
+)
+
+// CompareOptions tunes the baseline comparison.
+type CompareOptions struct {
+	// Tolerance is the allowed fractional slowdown per cell: a cell whose
+	// (possibly calibrated) wall-time ratio exceeds 1+Tolerance is a
+	// regression. 0.30 is the CI gate.
+	Tolerance float64
+	// Calibrate divides every ratio by the median ratio across all
+	// compared cells, cancelling uniform machine-speed differences so the
+	// gate catches cells that regressed relative to the rest of the suite
+	// (the right setting when baseline and current runs come from
+	// different machines, as in CI).
+	Calibrate bool
+	// MinWallSec is the noise floor: cells faster than this in BOTH runs
+	// are exempt from the regression gate (sub-threshold timings are
+	// noise-dominated), while a cell above the floor in either run still
+	// gates — a sub-floor baseline cell that blew past the floor is a
+	// real regression, not timer noise. Default (zero) means 0.025s.
+	MinWallSec float64
+}
+
+// CellDelta is one compared cell.
+type CellDelta struct {
+	Key       string // "E10/n=10000/seed=1"
+	BaseWall  float64
+	CurWall   float64
+	Ratio     float64 // CurWall/BaseWall, calibrated if requested
+	RawRatio  float64
+	Gated     bool // participates in the regression gate
+	Regressed bool
+	RowsDrift bool // deterministic row values differ from the baseline
+}
+
+// Comparison is the outcome of Compare.
+type Comparison struct {
+	Deltas      []CellDelta
+	Median      float64  // median raw ratio (the calibration divisor)
+	Regressions []string // human-readable gate failures
+	Drift       []string // deterministic result mismatches (warnings)
+	Missing     []string // cells present in only one report
+}
+
+// OK reports whether the perf gate passed. A comparison that matched no
+// cells at all (disjoint cell sets — e.g. a renamed grid label or a
+// baseline generated with different -only/-seeds) is NOT ok: a vacuous
+// gate must fail loudly rather than stay green while checking nothing.
+func (c *Comparison) OK() bool { return len(c.Deltas) > 0 && len(c.Regressions) == 0 }
+
+// Table renders the comparison as a metrics table.
+func (c *Comparison) Table(tolerance float64) *metrics.Table {
+	t := metrics.NewTable("perf comparison vs baseline",
+		"cell", "base", "current", "ratio", "gated", "verdict")
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		} else if d.RowsDrift {
+			verdict = "drift"
+		}
+		t.AddRow(d.Key,
+			fmt.Sprintf("%.3fs", d.BaseWall),
+			fmt.Sprintf("%.3fs", d.CurWall),
+			fmt.Sprintf("%.2fx", d.Ratio),
+			metrics.B(d.Gated), verdict)
+	}
+	t.Notes = fmt.Sprintf("median raw ratio %.2fx; gate: ratio > %.2fx on cells slower than the noise floor",
+		c.Median, 1+tolerance)
+	return t
+}
+
+// Compare diffs a current report against a committed baseline cell by cell
+// (matched on experiment ID, cell label and seed). Wall-time ratios beyond
+// the tolerance are regressions; deterministic row values that changed are
+// reported as drift warnings (they indicate a result change, not a perf
+// change, and deserve a human look rather than a hard failure).
+func Compare(base, cur *Report, o CompareOptions) *Comparison {
+	if o.MinWallSec == 0 {
+		o.MinWallSec = 0.025
+	}
+	type baseCell struct {
+		exp  *ReportExperiment
+		cell *ReportCell
+	}
+	baseIdx := map[string]baseCell{}
+	for i := range base.Experiments {
+		exp := &base.Experiments[i]
+		for j := range exp.Cells {
+			c := &exp.Cells[j]
+			baseIdx[cellKey(exp.ID, c)] = baseCell{exp: exp, cell: c}
+		}
+	}
+
+	cmp := &Comparison{}
+	seen := map[string]bool{}
+	for i := range cur.Experiments {
+		exp := &cur.Experiments[i]
+		measured := map[int]bool{}
+		for _, j := range exp.MeasuredCols {
+			measured[j] = true
+		}
+		for j := range exp.Cells {
+			c := &exp.Cells[j]
+			key := cellKey(exp.ID, c)
+			seen[key] = true
+			b, ok := baseIdx[key]
+			if !ok {
+				cmp.Missing = append(cmp.Missing, key+" (not in baseline)")
+				continue
+			}
+			d := CellDelta{Key: key}
+			if !rowsEqual(b.cell.Rows, c.Rows, measured) {
+				d.RowsDrift = true
+				cmp.Drift = append(cmp.Drift, key)
+			}
+			if b.cell.Perf != nil && c.Perf != nil &&
+				b.cell.Perf.WallSec > 0 && c.Perf.WallSec > 0 {
+				d.BaseWall = b.cell.Perf.WallSec
+				d.CurWall = c.Perf.WallSec
+				d.RawRatio = d.CurWall / d.BaseWall
+				d.Ratio = d.RawRatio
+				d.Gated = d.BaseWall >= o.MinWallSec || d.CurWall >= o.MinWallSec
+			}
+			cmp.Deltas = append(cmp.Deltas, d)
+		}
+	}
+	for key := range baseIdx {
+		if !seen[key] {
+			cmp.Missing = append(cmp.Missing, key+" (not in current run)")
+		}
+	}
+	sort.Strings(cmp.Missing)
+
+	// The calibration divisor comes from gated cells only: sub-floor cell
+	// timings are noise and must not skew the median applied to the cells
+	// that actually gate. Fall back to all cells if nothing gates.
+	var ratios, subFloor []float64
+	for _, d := range cmp.Deltas {
+		if d.RawRatio <= 0 {
+			continue
+		}
+		if d.Gated {
+			ratios = append(ratios, d.RawRatio)
+		} else {
+			subFloor = append(subFloor, d.RawRatio)
+		}
+	}
+	if len(ratios) == 0 {
+		ratios = subFloor
+	}
+	cmp.Median = median(ratios)
+	for i := range cmp.Deltas {
+		d := &cmp.Deltas[i]
+		if d.RawRatio == 0 {
+			continue
+		}
+		if o.Calibrate && cmp.Median > 0 {
+			d.Ratio = d.RawRatio / cmp.Median
+		}
+		if d.Gated && d.Ratio > 1+o.Tolerance {
+			d.Regressed = true
+			cmp.Regressions = append(cmp.Regressions,
+				fmt.Sprintf("%s: %.3fs -> %.3fs (%.2fx > %.2fx allowed)",
+					d.Key, d.BaseWall, d.CurWall, d.Ratio, 1+o.Tolerance))
+		}
+	}
+	return cmp
+}
+
+func cellKey(expID string, c *ReportCell) string {
+	return fmt.Sprintf("%s/%s/seed=%d", expID, c.Cell, c.Seed)
+}
+
+// rowsEqual compares deterministic row values (measured columns excluded)
+// by re-marshaling each value, which normalizes the float64/int64
+// asymmetry between freshly-built and JSON-decoded reports.
+func rowsEqual(a, b [][]any, measured map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if measured[j] {
+				continue
+			}
+			av, aerr := json.Marshal(a[i][j])
+			bv, berr := json.Marshal(b[i][j])
+			if aerr != nil || berr != nil || string(av) != string(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -1,0 +1,165 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vinfra/internal/harness"
+)
+
+// report builds a synthetic single-experiment report with the given
+// per-cell wall times.
+func report(walls map[string]float64, rows map[string][][]any) *harness.Report {
+	exp := harness.ReportExperiment{
+		ID: "EX", Group: "EX", Title: "synthetic",
+		Columns:      []string{"k", "cost"},
+		MeasuredCols: []int{1},
+	}
+	// Deterministic order for the test: fixed key list.
+	for _, key := range []string{"a", "b", "c", "d", "e"} {
+		w, ok := walls[key]
+		if !ok {
+			continue
+		}
+		cell := harness.ReportCell{Cell: key, Seed: 1, Perf: &harness.Perf{WallSec: w}}
+		if r, ok := rows[key]; ok {
+			cell.Rows = r
+		}
+		exp.Cells = append(exp.Cells, cell)
+	}
+	return &harness.Report{Schema: harness.Schema, Experiments: []harness.ReportExperiment{exp}}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := report(map[string]float64{"a": 1.0, "b": 1.0, "c": 1.0}, nil)
+	cur := report(map[string]float64{"a": 1.0, "b": 1.0, "c": 1.5}, nil)
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if cmp.OK() {
+		t.Fatal("50% slowdown passed a 30% gate")
+	}
+	if len(cmp.Regressions) != 1 || !strings.Contains(cmp.Regressions[0], "EX/c/seed=1") {
+		t.Errorf("regressions = %v", cmp.Regressions)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report(map[string]float64{"a": 1.0, "b": 2.0}, nil)
+	cur := report(map[string]float64{"a": 1.2, "b": 2.2}, nil)
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if !cmp.OK() {
+		t.Fatalf("within-tolerance run failed the gate: %v", cmp.Regressions)
+	}
+}
+
+func TestCompareCalibrationCancelsUniformSlowdown(t *testing.T) {
+	base := report(map[string]float64{"a": 1.0, "b": 1.0, "c": 1.0}, nil)
+	// Everything 2x slower (a slower machine), nothing relatively worse.
+	cur := report(map[string]float64{"a": 2.0, "b": 2.0, "c": 2.1}, nil)
+	uncal := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if uncal.OK() {
+		t.Fatal("uncalibrated compare should flag the uniform 2x slowdown")
+	}
+	cal := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30, Calibrate: true})
+	if !cal.OK() {
+		t.Fatalf("calibrated compare should cancel the uniform slowdown: %v", cal.Regressions)
+	}
+	// But a genuinely relative regression still fails calibrated.
+	cur2 := report(map[string]float64{"a": 2.0, "b": 2.0, "c": 4.0}, nil)
+	cal2 := harness.Compare(base, cur2, harness.CompareOptions{Tolerance: 0.30, Calibrate: true})
+	if cal2.OK() {
+		t.Fatal("calibrated compare missed a 2x relative regression")
+	}
+}
+
+func TestCompareNoiseFloorExemptsFastCells(t *testing.T) {
+	base := report(map[string]float64{"a": 0.001, "b": 1.0}, nil)
+	cur := report(map[string]float64{"a": 0.010, "b": 1.0}, nil) // 10x on a 1ms cell
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30, MinWallSec: 0.025})
+	if !cmp.OK() {
+		t.Fatalf("sub-floor cell should not gate: %v", cmp.Regressions)
+	}
+}
+
+func TestCompareDisjointCellSetsIsNotOK(t *testing.T) {
+	// A baseline whose cells share nothing with the current run must not
+	// pass the gate vacuously (e.g. renamed grid labels or mismatched
+	// -seeds): nothing was actually compared.
+	base := report(map[string]float64{"a": 1.0, "b": 1.0}, nil)
+	cur := report(map[string]float64{"d": 1.0, "e": 1.0}, nil)
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if cmp.OK() {
+		t.Fatal("zero-overlap comparison reported OK")
+	}
+	if len(cmp.Deltas) != 0 || len(cmp.Missing) != 4 {
+		t.Errorf("deltas=%d missing=%v", len(cmp.Deltas), cmp.Missing)
+	}
+}
+
+func TestCompareSubFloorBaselineStillGatesBigRegression(t *testing.T) {
+	// A cell under the noise floor in the baseline that blows far past
+	// the floor in the current run is a real regression, not noise.
+	base := report(map[string]float64{"a": 0.003, "b": 1.0}, nil)
+	cur := report(map[string]float64{"a": 1.2, "b": 1.0}, nil)
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30, MinWallSec: 0.025})
+	if cmp.OK() {
+		t.Fatal("400x regression on a sub-floor baseline cell passed the gate")
+	}
+}
+
+func TestCompareReportsDriftAndMissing(t *testing.T) {
+	base := report(
+		map[string]float64{"a": 1.0, "b": 1.0},
+		map[string][][]any{"a": {{int64(1), 0.5}}},
+	)
+	cur := report(
+		map[string]float64{"a": 1.0, "c": 1.0},
+		// Column 0 changed (deterministic -> drift); column 1 is measured
+		// and must be ignored even though it changed too.
+		map[string][][]any{"a": {{int64(2), 0.9}}},
+	)
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if len(cmp.Drift) != 1 || cmp.Drift[0] != "EX/a/seed=1" {
+		t.Errorf("drift = %v", cmp.Drift)
+	}
+	if len(cmp.Missing) != 2 {
+		t.Errorf("missing = %v, want b and c flagged", cmp.Missing)
+	}
+}
+
+func TestCompareIgnoresMeasuredColumnChanges(t *testing.T) {
+	base := report(map[string]float64{"a": 1.0}, map[string][][]any{"a": {{int64(1), 0.5}}})
+	cur := report(map[string]float64{"a": 1.0}, map[string][][]any{"a": {{int64(1), 99.0}}})
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if len(cmp.Drift) != 0 {
+		t.Errorf("measured-only change reported as drift: %v", cmp.Drift)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	suite, err := harness.Run(harness.Options{Only: "E10", Quick: true, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := suite.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := harness.ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != harness.Schema || len(rep.Experiments) != 1 {
+		t.Fatalf("round trip lost structure: %+v", rep)
+	}
+	// A self-compare of a fresh report must pass any gate and show no
+	// drift (rows survive the decode/normalize path intact).
+	cmp := harness.Compare(rep, suite.Report(), harness.CompareOptions{Tolerance: 0.0})
+	if !cmp.OK() || len(cmp.Drift) != 0 || len(cmp.Missing) != 0 {
+		t.Errorf("self-compare: regressions=%v drift=%v missing=%v",
+			cmp.Regressions, cmp.Drift, cmp.Missing)
+	}
+	if _, err := harness.ReadReport(strings.NewReader(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("bad schema accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package harness_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	_ "vinfra/internal/experiments" // registers E1..E10
+	"vinfra/internal/harness"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := harness.All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d descriptors, want 17 (E1..E10 sub-tables)", len(all))
+	}
+	groups := map[string]bool{}
+	for _, d := range all {
+		groups[d.Group] = true
+	}
+	for _, g := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !groups[g] {
+			t.Errorf("group %s not registered", g)
+		}
+	}
+	// Natural order: E1 first, E10 last (lexical order would put E10 second).
+	if all[0].ID != "E1" || all[len(all)-1].ID != "E10" {
+		ids := make([]string, len(all))
+		for i, d := range all {
+			ids[i] = d.ID
+		}
+		t.Errorf("registry order: %v", ids)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	for _, tc := range []struct {
+		only string
+		want int
+	}{
+		{"", 17},
+		{"E2", 3},
+		{"e2a", 1},
+		{"E2a,E10", 2},
+		{"E1, e9", 3},
+	} {
+		got, err := harness.Select(tc.only)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", tc.only, err)
+		}
+		if len(got) != tc.want {
+			t.Errorf("Select(%q) = %d descriptors, want %d", tc.only, len(got), tc.want)
+		}
+	}
+	if _, err := harness.Select("E99"); err == nil {
+		t.Error("Select(E99) did not fail")
+	}
+	if _, err := harness.Select("E2,bogus"); err == nil {
+		t.Error("Select with one bad token did not fail")
+	}
+}
+
+func TestGridColumnsMatchRows(t *testing.T) {
+	// Every descriptor's first quick cell must produce rows matching its
+	// column count (the registry contract the JSON report relies on).
+	for _, d := range harness.All() {
+		grid := d.Grid(true)
+		if len(grid) == 0 {
+			t.Errorf("%s: empty quick grid", d.ID)
+			continue
+		}
+		rows := d.Run(&harness.Cell{Params: grid[0], Seed: 1})
+		if len(rows) == 0 {
+			t.Errorf("%s: cell %q produced no rows", d.ID, grid[0].Label)
+		}
+		for _, r := range rows {
+			if len(r) != len(d.Columns) {
+				t.Errorf("%s: row has %d values, want %d columns", d.ID, len(r), len(d.Columns))
+			}
+		}
+	}
+}
+
+func TestRunWorkerPoolDeterminism(t *testing.T) {
+	render := func(workers int) []byte {
+		suite, err := harness.Run(harness.Options{
+			Only: "E1,E2b,E7b", Quick: true, Seeds: []int64{1, 2},
+			Workers: workers, Timing: false,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := suite.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(0)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Error("worker-pool output differs from sequential output")
+	}
+}
+
+func TestRunPerfSampling(t *testing.T) {
+	suite, err := harness.Run(harness.Options{Only: "E7b", Quick: true, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range suite.Experiments {
+		for _, c := range exp.Cells {
+			if c.Perf == nil {
+				t.Fatalf("%s/%s: no perf sample with timing on", exp.Desc.ID, c.Label)
+			}
+			if c.Perf.WallSec <= 0 {
+				t.Errorf("%s/%s: wall_sec = %v", exp.Desc.ID, c.Label, c.Perf.WallSec)
+			}
+			if c.Perf.Rounds <= 0 {
+				t.Errorf("%s/%s: rounds not counted", exp.Desc.ID, c.Label)
+			}
+		}
+	}
+}
+
+func TestRunTimingOffBlanksMeasuredValues(t *testing.T) {
+	suite, err := harness.Run(harness.Options{Only: "E10", Quick: true, Timing: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := suite.Report()
+	exp := rep.Experiments[0]
+	if len(exp.MeasuredCols) == 0 {
+		t.Fatal("E10 reported no measured columns")
+	}
+	for _, c := range exp.Cells {
+		if c.Perf != nil {
+			t.Error("perf sample present with timing off")
+		}
+		for _, row := range c.Rows {
+			for _, j := range exp.MeasuredCols {
+				if row[j] != nil {
+					t.Errorf("measured column %d not blanked: %v", j, row[j])
+				}
+			}
+		}
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if v := harness.Float(math.Inf(1)); v.V != nil {
+		t.Errorf("Float(+Inf).V = %v, want nil (JSON has no Inf)", v.V)
+	}
+	if v := harness.Float(math.NaN()); v.V != nil {
+		t.Errorf("Float(NaN).V = %v, want nil", v.V)
+	}
+	if v := harness.Int(7); v.Text != "7" || v.V != int64(7) {
+		t.Errorf("Int(7) = %+v", v)
+	}
+	if v := harness.Bool(true); v.Text != "yes" {
+		t.Errorf("Bool(true).Text = %q", v.Text)
+	}
+}
+
+func TestRenderTextMultiSeedColumn(t *testing.T) {
+	suite, err := harness.Run(harness.Options{Only: "E7b", Quick: true, Seeds: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	suite.RenderText(&buf)
+	if !strings.Contains(buf.String(), "seed") {
+		t.Error("multi-seed run did not render a seed column")
+	}
+}
