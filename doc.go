@@ -9,16 +9,27 @@
 //   - sim: the slotted, synchronous round engine (Section 2). Runs are
 //     deterministic per seed; WithParallel shards each round's mobility,
 //     Transmit and Receive fan-out across a bounded worker pool without
-//     changing output.
+//     changing output. The steady-state round loop is allocation-free:
+//     the NodeInfo view, transmission list and Transmit slots are reused
+//     buffers, every per-round walk covers only the alive list (dead
+//     nodes cost nothing after the round they die in), and CrashAt with a
+//     round at or before the current one applies immediately instead of
+//     being silently dropped.
 //   - geo: planar geometry, the quasi-unit-disk radii R1/R2, deployment
 //     grids, and CellIndex — the uniform-grid spatial index that makes
-//     radius queries O(points in nearby cells) instead of O(n).
+//     radius queries O(points in nearby cells) instead of O(n). It also
+//     answers nearest-within-radius queries (NearestWithin, behind the
+//     O(1) vi.Deployment.RegionOf) and rebuilds in place without
+//     allocating (Rebuild, behind the radio medium's per-round index).
 //   - radio: the collision-prone medium. Delivery buckets each round's
 //     transmissions into R2-sized grid cells so every receiver consults
 //     only its own and adjacent cells (near-linear per round rather than
 //     O(receivers x transmissions)); Config.Mode selects scan/grid/auto
 //     and Config.Parallel shards receivers across workers. All modes are
-//     reception-identical for the same seed.
+//     reception-identical for the same seed. Per-round state (reception
+//     slice, transmission index, identity map) lives on the Medium and
+//     per-worker partition buffers are pooled, so steady-state delivery
+//     allocates only the message slices receivers actually get.
 //   - cd, cm: the model's collision detector classes and contention
 //     managers.
 //   - cha: Convergent History Agreement, the paper's core protocol.
@@ -26,9 +37,11 @@
 //   - apps, baseline: applications on top of the infrastructure and the
 //     baselines the paper argues against.
 //   - mobility, metrics: mobility models and table rendering.
-//   - experiments: the reproduction experiment suite E1–E10. Every table
-//     registers a harness.Descriptor (parameter grid, seed list, typed
-//     rows) in its file's init.
+//   - experiments: the reproduction experiment suite E1–E11 — E11 "metro"
+//     drives grids of virtual nodes through heavy churn (Leave, scheduled
+//     and late CrashAt, mid-run Attach) on the parallel grid-indexed
+//     stack. Every table registers a harness.Descriptor (parameter grid,
+//     seed list, typed rows) in its file's init.
 //   - harness: the registry-based experiment runner. It fans
 //     experiment×parameter×seed cells out over a bounded worker pool,
 //     merges results deterministically (parallel output is byte-identical
@@ -48,19 +61,26 @@
 //
 // The delivery-scaling benchmarks (1k and 10k nodes, brute-force scan vs
 // grid index, sequential vs sharded) live in internal/radio and
-// internal/sim:
+// internal/sim, and the flat-cost RegionOf benchmarks in internal/vi:
 //
 //	go test ./internal/radio/ -bench 'Deliver' -benchtime 10x
 //	go test ./internal/sim/ -bench 'EngineStep' -benchtime 10x
-//	go run ./cmd/chabench -only E10
+//	go test ./internal/vi/ -bench 'RegionOf' -benchtime 100000x
+//	go run ./cmd/chabench -only E10,E11
+//
+// Steady-state allocations per round are gated by tests (skipped under
+// -race): TestDeliverSteadyStateAllocs and TestEngineStepSteadyStateAllocs
+// pin the allocation-free round loop — Engine.Step allocates nothing and
+// Deliver allocates only the message slices of receivers that actually
+// hear something.
 //
 // # The perf trajectory and -compare workflow
 //
 // BENCH_BASELINE.json at the repo root is a committed chabench JSON report
-// (E10, seeds 1–3) whose header notes the machine and commit it was
-// generated on. To check a change against it:
+// (E10 and E11, seeds 1–3) whose header notes the machine and commit it
+// was generated on. To check a change against it:
 //
-//	go run ./cmd/chabench -json -only E10 -seeds 1,2,3 -out bench.json
+//	go run ./cmd/chabench -json -only E10,E11 -seeds 1,2,3 -out bench.json
 //	go run ./cmd/chabench -compare bench.json -calibrate -tolerance 0.30
 //
 // -compare matches cells by (experiment, cell, seed), computes wall-time

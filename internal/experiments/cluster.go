@@ -1,9 +1,11 @@
 // Package experiments implements the reproduction experiment suite
-// E1–E10: Figure 2 of the paper reproduced directly, and every
-// quantitative claim (Theorem 14's constant overhead, Property 4's color
-// invariant, Theorems 10/12/13, the Section 4 emulation overhead and
-// progress conditions, the Section 1.5 baseline comparisons, and the
-// delivery-scaling table) turned into a measured table.
+// E1–E11: Figure 2 of the paper reproduced directly, every quantitative
+// claim (Theorem 14's constant overhead, Property 4's color invariant,
+// Theorems 10/12/13, the Section 4 emulation overhead and progress
+// conditions, the Section 1.5 baseline comparisons, and the
+// delivery-scaling table) turned into a measured table, and the metro
+// churn-at-scale campaign (E11) built on the O(1) region lookup and the
+// allocation-free round loop.
 //
 // Each table registers a harness.Descriptor in its file's init: a
 // parameter grid, a seed list, and a cell function returning typed rows.

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vinfra/internal/geo"
+	"vinfra/internal/harness"
+	"vinfra/internal/metrics"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+)
+
+// e11Shapes are the metro sweep's virtual-node grids: the quick variant
+// keeps the golden suite fast, the full variant is the scale the O(1)
+// region lookup and the allocation-free round loop were built for.
+var e11Shapes = []struct {
+	name       string
+	cols, rows int
+}{
+	{"3x3", 3, 3},
+	{"5x5", 5, 5},
+	{"7x7", 7, 7},
+}
+
+var e11Desc = harness.Descriptor{
+	ID:    "E11",
+	Group: "E11",
+	Title: "E11 — metro: emulation scale under heavy churn",
+	Notes: "grid-indexed sharded delivery + parallel engine, managed leaders with failover; every vround one region's oldest replica departs (Leave / scheduled CrashAt / late CrashAt), leadership hands to the next-oldest, and a fresh device attaches and joins",
+	Columns: []string{
+		"vnodes", "devices", "vrounds", "churn events",
+		"alive at end", "availability", "mean join latency (vrounds)", "joins", "resets",
+	},
+	Grid: func(quick bool) []harness.Params {
+		shapes := e11Shapes
+		vrounds := 30
+		if quick {
+			shapes = e11Shapes[:1]
+			vrounds = 8
+		}
+		var grid []harness.Params
+		for _, s := range shapes {
+			grid = append(grid, harness.Params{
+				Label: s.name,
+				Ints:  map[string]int{"cols": s.cols, "rows": s.rows, "vrounds": vrounds},
+			})
+		}
+		return grid
+	},
+	Run: metroCell,
+}
+
+func init() { harness.Register(e11Desc) }
+
+// metroCell runs one metro deployment: a grid of virtual nodes, each
+// bootstrapped with three replicas plus a staggered pinging client, driven
+// through heavy churn — every virtual round the rotation picks a region,
+// its oldest replica departs through one of the three departure paths
+// (immediate Leave, a CrashAt scheduled mid-vround, and a CrashAt aimed at
+// an already-past round, the silently-dropped case the engine now applies
+// immediately), leadership hands to the next-oldest replica, and a fresh
+// device attaches nearby and acquires state through the join protocol.
+// Virtual nodes must stay available throughout (Section 4.2's progress
+// condition at deployment scale): availability near 1 plus zero resets
+// means state survived total replica turnover. Leaders are managed
+// (fixedLeader with explicit failover) so the column measures churn, not
+// the backoff manager's multi-region election contention — E6 covers the
+// elected-leader churn story on a single region.
+func metroCell(c *harness.Cell) []harness.Row {
+	cols, rows, vrounds := c.Params.Int("cols"), c.Params.Int("rows"), c.Params.Int("vrounds")
+	const replicasPer = 3
+	locs := geo.Grid{Spacing: 6, Cols: cols, Rows: rows}.Locations()
+	bed := newVIBed(viBedOpts{
+		locs:        locs,
+		replicasPer: replicasPer,
+		seed:        int64(cols*rows) + c.Base(),
+		fixedLeader: true,
+		parallel:    true,
+	})
+	// One client per region, staggered so pings from neighboring regions
+	// don't collide every client slot.
+	for v, loc := range locs {
+		v := v
+		bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
+			return bed.dep.NewClient(env, vi.ClientFunc(
+				func(vr int, _ []vi.Message, _ bool) *vi.Message {
+					if vr%len(locs) != v {
+						return nil
+					}
+					return &vi.Message{Payload: fmt.Sprintf("ping-%02d-%04d", v, vr)}
+				}))
+		})
+	}
+
+	// Hooks fire from emulator Receive calls, which the parallel engine
+	// fans out across workers: the counters need their own lock.
+	var mu sync.Mutex
+	var joinLatency metrics.Series
+	joins, resets := 0, 0
+
+	per := bed.dep.Timing().RoundsPerVRound()
+	replicas := make([][]sim.NodeID, len(locs)) // per-region, oldest first
+	for v := range locs {
+		for i := 0; i < replicasPer; i++ {
+			replicas[v] = append(replicas[v], sim.NodeID(v*replicasPer+i))
+		}
+	}
+	churn := 0
+	for vr := 0; vr < vrounds; vr++ {
+		if vr > 0 {
+			v := vr % len(locs)
+			if reg := replicas[v]; len(reg) > 1 {
+				oldest := reg[0]
+				replicas[v] = reg[1:]
+				// The departing replica is always the region's leader:
+				// hand leadership to the next-oldest before it goes, the
+				// failover a managed deployment performs.
+				bed.setLeader(vi.VNodeID(v), replicas[v][0])
+				switch churn % 3 {
+				case 0:
+					bed.eng.Leave(oldest)
+				case 1:
+					// Mid-vround crash: the replica dies between phases.
+					bed.eng.CrashAt(oldest, bed.eng.Round()+sim.Round(per/2))
+				case 2:
+					// A crash scheduled for a round that already ran: the
+					// engine applies it immediately instead of dropping it.
+					bed.eng.CrashAt(oldest, bed.eng.Round()-1)
+				}
+				arrivedAt := vr
+				newID := sim.NodeID(bed.eng.NumNodes())
+				loc := locs[v]
+				pos := geo.Point{
+					X: loc.X + 0.4*float64(churn%4) - 0.6,
+					Y: loc.Y - 0.35,
+				}
+				bed.attachEmulator(pos, false, vi.EmulatorHooks{
+					OnJoin: func(_ vi.VNodeID, joinVR int) {
+						mu.Lock()
+						joins++
+						joinLatency.AddInt(joinVR - arrivedAt)
+						mu.Unlock()
+					},
+					OnReset: func(vi.VNodeID, int) {
+						mu.Lock()
+						resets++
+						mu.Unlock()
+					},
+				})
+				replicas[v] = append(replicas[v], newID)
+				churn++
+			}
+		}
+		bed.eng.Run(per)
+	}
+	c.CountRounds(bed.eng.Stats().Rounds)
+	return []harness.Row{{
+		harness.Int(len(locs)), harness.Int(bed.eng.NumNodes()), harness.Int(vrounds),
+		harness.Int(churn), harness.Int(bed.eng.AliveCount()),
+		harness.Float(bed.meanAvailability()), harness.Float(joinLatency.Mean()),
+		harness.Int(joins), harness.Int(resets),
+	}}
+}
+
+// MetroChurn is the legacy-style table entry point.
+func MetroChurn(cols, rows, vrounds int) *metrics.Table {
+	c := &harness.Cell{Seed: 1, Params: harness.Params{
+		Ints: map[string]int{"cols": cols, "rows": rows, "vrounds": vrounds},
+	}}
+	return e11Desc.TableOf(metroCell(c))
+}

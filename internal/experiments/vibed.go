@@ -40,13 +40,21 @@ func viCounterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 
 // viBed is a full virtual infrastructure deployment wired for measurement.
 type viBed struct {
-	eng       *sim.Engine
-	dep       *vi.Deployment
-	emulators []*vi.Emulator
+	eng        *sim.Engine
+	dep        *vi.Deployment
+	emulators  []*vi.Emulator
+	setLeaders []func(sim.NodeID) // per-vnode leader handoff (fixedLeader only)
 
 	mu     sync.Mutex
 	greens map[vi.VNodeID]map[cha.Instance]bool // instances with >= 1 green replica
 	total  map[vi.VNodeID]cha.Instance
+}
+
+// setLeader hands virtual node v's leadership to node id (fixedLeader beds
+// only) — the churn experiments use it when the current leader departs, the
+// way a deployment's failover would.
+func (b *viBed) setLeader(v vi.VNodeID, id sim.NodeID) {
+	b.setLeaders[v](id)
 }
 
 type viBedOpts struct {
@@ -56,6 +64,10 @@ type viBedOpts struct {
 	fixedLeader bool
 	adversary   radio.Adversary
 	detector    cd.Detector
+	// parallel runs the bed the way a large deployment would: grid-indexed
+	// sharded delivery and a parallel engine. Results are identical to the
+	// sequential bed (the determinism contract); only the cost changes.
+	parallel bool
 }
 
 func newVIBed(o viBedOpts) *viBed {
@@ -71,31 +83,40 @@ func newVIBed(o viBedOpts) *viBed {
 		Radii:     Radii,
 		Program:   viCounterProgram(sched),
 	}
+	var setLeaders []func(sim.NodeID)
 	if o.fixedLeader {
-		leaders := make(map[vi.VNodeID]sim.NodeID, len(o.locs))
+		factories := make([]cm.Factory, len(o.locs))
+		setLeaders = make([]func(sim.NodeID), len(o.locs))
 		for v := range o.locs {
-			leaders[vi.VNodeID(v)] = sim.NodeID(v * o.replicasPer)
+			factories[v], setLeaders[v] = cm.NewFixed(sim.NodeID(v * o.replicasPer))
 		}
 		cfg.NewCM = func(v vi.VNodeID, env sim.Env) cm.Manager {
-			factory, _ := cm.NewFixed(leaders[v])
-			return factory(env)
+			return factories[v](env)
 		}
 	}
 	dep, err := vi.NewDeployment(cfg)
 	if err != nil {
 		panic(err)
 	}
-	medium := radio.MustMedium(radio.Config{
+	mediumCfg := radio.Config{
 		Radii:     Radii,
 		Detector:  o.detector,
 		Adversary: o.adversary,
 		Seed:      o.seed,
-	})
+	}
+	engOpts := []sim.Option{sim.WithSeed(o.seed)}
+	if o.parallel {
+		mediumCfg.Mode = radio.ModeGrid
+		mediumCfg.Parallel = true
+		engOpts = append(engOpts, sim.WithParallel())
+	}
+	medium := radio.MustMedium(mediumCfg)
 	bed := &viBed{
-		eng:    sim.NewEngine(medium, sim.WithSeed(o.seed)),
-		dep:    dep,
-		greens: make(map[vi.VNodeID]map[cha.Instance]bool),
-		total:  make(map[vi.VNodeID]cha.Instance),
+		eng:        sim.NewEngine(medium, engOpts...),
+		dep:        dep,
+		setLeaders: setLeaders,
+		greens:     make(map[vi.VNodeID]map[cha.Instance]bool),
+		total:      make(map[vi.VNodeID]cha.Instance),
 	}
 	for v, loc := range o.locs {
 		for i := 0; i < o.replicasPer; i++ {

@@ -96,6 +96,47 @@ func (ix *CellIndex) Near(buf []int32, p Point, k int) []int32 {
 	return buf
 }
 
+// NearestWithin returns the index of the indexed point nearest to p among
+// those within distance r of it (inclusive), and whether one exists. Exact
+// distance ties break toward the lower index, independent of cell visiting
+// order. Only the cell rings covering r are probed, so a query with r equal
+// to the cell size costs a 3x3-cell probe regardless of how many points are
+// indexed — this is the query behind vi.Deployment.RegionOf.
+func (ix *CellIndex) NearestWithin(p Point, r float64) (int, bool) {
+	if r < 0 {
+		return 0, false
+	}
+	best := -1
+	bestD2 := r * r
+	ix.VisitNear(p, ix.Rings(r), func(i int32) {
+		d2 := ix.pts[i].Dist2(p)
+		if d2 > bestD2 {
+			return
+		}
+		if d2 < bestD2 || best == -1 || int(i) < best {
+			best = int(i)
+			bestD2 = d2
+		}
+	})
+	return best, best >= 0
+}
+
+// Rebuild re-indexes the index over pts, which replaces the previously
+// indexed slice, keeping the cell size. Existing cell buckets are truncated
+// rather than deleted, so once the map covers every cell the points ever
+// visit, steady-state rebuilds allocate nothing — the radio medium rebuilds
+// its transmission index this way every round.
+func (ix *CellIndex) Rebuild(pts []Point) {
+	for k, s := range ix.cells {
+		ix.cells[k] = s[:0]
+	}
+	ix.pts = pts
+	for i := range pts {
+		k := ix.keyOf(pts[i])
+		ix.cells[k] = append(ix.cells[k], int32(i))
+	}
+}
+
 // Within appends to buf the indices of every indexed point within distance
 // r of p (inclusive), in increasing index order, and returns the extended
 // slice.

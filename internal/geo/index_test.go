@@ -148,3 +148,102 @@ func TestNeighborGraphMatchesBruteForce(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCellIndexNearestWithinMatchesBruteForce pins the gridded
+// nearest-within-radius query to a linear scan applying the same rule
+// (smallest distance, exact ties toward the lower index).
+func TestCellIndexNearestWithinMatchesBruteForce(t *testing.T) {
+	f := func(seed uint32, nRaw uint8, cellRaw, rRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := int(nRaw % 64) // zero points is a valid index
+		cell := 0.5 + float64(cellRaw%40)
+		r := 0.1 + float64(rRaw%60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64()*100 - 50, Y: rng.Float64()*100 - 50}
+		}
+		ix := BuildCellIndex(pts, cell)
+		for trial := 0; trial < 4; trial++ {
+			q := Point{X: rng.Float64()*120 - 60, Y: rng.Float64()*120 - 60}
+			got, ok := ix.NearestWithin(q, r)
+			want, wantOK := -1, false
+			bestD2 := r * r
+			for i := range pts {
+				if d2 := pts[i].Dist2(q); d2 <= bestD2 && (!wantOK || d2 < bestD2) {
+					want, wantOK = i, true
+					bestD2 = d2
+				}
+			}
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellIndexNearestWithinTiesAndEdges(t *testing.T) {
+	pts := []Point{{X: 2}, {X: -2}, {X: 10}}
+	ix := BuildCellIndex(pts, 2)
+	// Exact tie between indices 0 and 1 breaks toward the lower index.
+	if got, ok := ix.NearestWithin(Point{}, 3); !ok || got != 0 {
+		t.Errorf("tie = (%d, %v), want (0, true)", got, ok)
+	}
+	// The radius is inclusive.
+	if got, ok := ix.NearestWithin(Point{}, 2); !ok || got != 0 {
+		t.Errorf("inclusive boundary = (%d, %v), want (0, true)", got, ok)
+	}
+	// Nothing within range.
+	if _, ok := ix.NearestWithin(Point{Y: 50}, 3); ok {
+		t.Error("found a point where none is within range")
+	}
+	// Negative radius finds nothing.
+	if _, ok := ix.NearestWithin(Point{X: 2}, -1); ok {
+		t.Error("negative radius found a point")
+	}
+}
+
+// TestCellIndexRebuildMatchesFreshBuild drives Rebuild through several
+// rounds of shifting points and compares every query against a freshly
+// built index — and checks the steady state allocates nothing.
+func TestCellIndexRebuildMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const cell = 5.0
+	pts := make([]Point, 120)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+	}
+	ix := BuildCellIndex(pts, cell)
+	for round := 0; round < 6; round++ {
+		// Shift points (and change the count) as a mobile round would.
+		pts = pts[:60+rng.Intn(60)]
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+		}
+		ix.Rebuild(pts)
+		fresh := BuildCellIndex(pts, cell)
+		if ix.Len() != fresh.Len() {
+			t.Fatalf("round %d: Len = %d, want %d", round, ix.Len(), fresh.Len())
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+			got := ix.Within(nil, q, 7)
+			want := fresh.Within(nil, q, 7)
+			if len(got) != len(want) {
+				t.Fatalf("round %d: Within lengths differ: %v vs %v", round, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: Within = %v, want %v", round, got, want)
+				}
+			}
+		}
+	}
+	// Rebuilding in place over the same cells must not allocate.
+	if avg := testing.AllocsPerRun(20, func() { ix.Rebuild(pts) }); avg > 0 {
+		t.Errorf("steady-state Rebuild allocates %.1f times per call, want 0", avg)
+	}
+}

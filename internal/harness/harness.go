@@ -1,5 +1,5 @@
 // Package harness is the registry-based experiment runner behind
-// cmd/chabench. Every experiment of the reproduction suite (E1–E10)
+// cmd/chabench. Every experiment of the reproduction suite (E1–E11)
 // registers a Descriptor — a name, a parameter grid, a seed list and a run
 // function returning typed rows — instead of printing an ad-hoc table. The
 // harness fans experiment×parameter×seed cells out over a bounded worker
@@ -207,7 +207,7 @@ func idKey(id string) (int, string) {
 }
 
 // All returns every registered descriptor in natural ID order (E1, E2a,
-// E2b, …, E10), independent of file init order.
+// E2b, …, E11), independent of file init order.
 func All() []Descriptor {
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -248,7 +248,7 @@ func Select(only string) ([]Descriptor, error) {
 	}
 	for k := range want {
 		if !matched[k] {
-			return nil, fmt.Errorf("unknown experiment %q (want E1..E10 or a sub-ID like E2a)", k)
+			return nil, fmt.Errorf("unknown experiment %q (want E1..E11 or a sub-ID like E2a)", k)
 		}
 	}
 	return out, nil

@@ -15,12 +15,20 @@
 // (Config.Parallel); all randomness is derived per (round, receiver), so
 // every mode — scan, grid, sequential, parallel — produces identical
 // receptions for the same seed.
+//
+// The steady-state delivery loop is also nearly allocation-free: the
+// reception slice, the transmission index (rebuilt in place each round) and
+// the sender identity map live on the Medium, the per-receiver partition
+// buffers live in pooled per-worker scratch, and empty receptions carry nil
+// message slices. Only receivers that actually hear something allocate
+// (their Msgs slices may be retained by nodes).
 package radio
 
 import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"vinfra/internal/cd"
 	"vinfra/internal/geo"
@@ -81,7 +89,9 @@ const (
 type Config struct {
 	Radii    geo.Radii
 	Detector cd.Detector
-	// Adversary may be nil for a well-behaved channel.
+	// Adversary may be nil for a well-behaved channel. The deliverable
+	// slice handed to Filter is medium-owned scratch: implementations must
+	// not retain it past the call.
 	Adversary Adversary
 	// GrayZoneDeliveryProb is the probability that an uncontended
 	// transmission from the gray zone (between R1 and R2) is delivered
@@ -107,8 +117,70 @@ type Config struct {
 
 // Medium implements sim.Medium with quasi-unit-disk propagation and
 // collision-detector synthesis.
+//
+// A Medium carries reusable per-round delivery state, so a single Medium
+// must not have Deliver invoked concurrently (one engine calling it once
+// per round — the sim.Medium contract — is the intended use; within one
+// call, receiver shards still fan out across workers). The returned
+// reception slice is valid until the next Deliver call.
 type Medium struct {
 	cfg Config
+
+	// Per-round reusable state: the reception slice handed back to the
+	// engine, the transmission-origin points and their cell index, and the
+	// sender -> transmission identity map. Rebuilt (in place) every round,
+	// so the steady-state round loop allocates almost nothing.
+	out   []sim.Reception
+	pts   []geo.Point
+	ix    *geo.CellIndex
+	ownTx map[sim.NodeID]int32
+
+	// scratch pools per-worker partition buffers across rounds.
+	scratch sync.Pool
+}
+
+// deliverScratch is one worker's reusable delivery state: the grid
+// candidate buffer, the per-receiver transmission partitions, and the
+// receiver RNG. Each shard checks one out of the pool for the receivers it
+// owns, so the buffers are never shared between concurrent workers.
+type deliverScratch struct {
+	buf         []int32
+	inR1        []sim.Transmission
+	gray        []sim.Transmission
+	deliverable []sim.Transmission
+
+	// The receiver randomness (gray-zone delivery and detector noise) is
+	// keyed by (seed, round, receiver) and drawn lazily: most receivers
+	// never draw, so the generator is only (re)seeded on first use. One
+	// generator and one pre-bound closure per scratch — handing a fresh
+	// closure to Detector.Report for every receiver is what used to make
+	// delivery allocate twice per receiver per round.
+	rngSeed int64
+	seeded  bool
+	rng     *rand.Rand
+	rnd     func() float64
+}
+
+func newDeliverScratch() *deliverScratch {
+	s := &deliverScratch{}
+	s.rnd = func() float64 {
+		if !s.seeded {
+			if s.rng == nil {
+				s.rng = rand.New(rand.NewSource(s.rngSeed))
+			} else {
+				s.rng.Seed(s.rngSeed)
+			}
+			s.seeded = true
+		}
+		return s.rng.Float64()
+	}
+	return s
+}
+
+// setReceiver keys the scratch RNG to one receiver without seeding it yet.
+func (s *deliverScratch) setReceiver(seed int64, r sim.Round, id sim.NodeID) {
+	s.rngSeed = receiverSeed(seed, r, id)
+	s.seeded = false
 }
 
 var _ sim.Medium = (*Medium)(nil)
@@ -148,34 +220,57 @@ func MustMedium(cfg Config) *Medium {
 
 // Deliver implements sim.Medium. For each alive receiver it computes the
 // physically deliverable set, applies the adversary, and synthesizes the
-// collision-detector indication from the ground-truth losses.
+// collision-detector indication from the ground-truth losses. The returned
+// slice is medium-owned and reused on the next call.
 func (m *Medium) Deliver(r sim.Round, txs []sim.Transmission, rxs []sim.NodeInfo) []sim.Reception {
-	out := make([]sim.Reception, len(rxs))
+	if cap(m.out) < len(rxs) {
+		m.out = make([]sim.Reception, len(rxs))
+	}
+	out := m.out[:len(rxs)]
 
-	var ix *geo.CellIndex
+	useIdx := false
 	switch m.cfg.Mode {
 	case ModeGrid:
-		ix = buildTxIndex(txs, m.cfg.Radii.R2)
+		useIdx = true
 	case ModeAuto:
-		if len(txs) >= autoIndexMinTxs && len(txs)*len(rxs) >= autoIndexMinWork {
-			ix = buildTxIndex(txs, m.cfg.Radii.R2)
-		}
+		useIdx = len(txs) >= autoIndexMinTxs && len(txs)*len(rxs) >= autoIndexMinWork
 	}
-	// The grid only surfaces transmissions whose origin lies near the
-	// receiver, so a sender's own transmission is looked up by identity
-	// instead — the half-duplex rule must hold whatever position the
-	// transmission claims to originate from, keeping the grid path
-	// reception-identical to the scan even for out-of-sync From points.
-	var ownTx map[sim.NodeID]int32
-	if ix != nil {
-		ownTx = make(map[sim.NodeID]int32, len(txs))
+	var ix *geo.CellIndex
+	if useIdx {
+		// Rebuild the R2-cell transmission index in place: a receiver's
+		// 3x3 cell block then covers every transmission within its
+		// interference radius.
+		m.pts = m.pts[:0]
 		for i := range txs {
-			ownTx[txs[i].Sender] = int32(i)
+			m.pts = append(m.pts, txs[i].From)
+		}
+		if m.ix == nil {
+			m.ix = geo.BuildCellIndex(m.pts, m.cfg.Radii.R2)
+		} else {
+			m.ix.Rebuild(m.pts)
+		}
+		ix = m.ix
+		// The grid only surfaces transmissions whose origin lies near the
+		// receiver, so a sender's own transmission is looked up by
+		// identity instead — the half-duplex rule must hold whatever
+		// position the transmission claims to originate from, keeping the
+		// grid path reception-identical to the scan even for out-of-sync
+		// From points.
+		if m.ownTx == nil {
+			m.ownTx = make(map[sim.NodeID]int32, len(txs))
+		} else {
+			clear(m.ownTx)
+		}
+		for i := range txs {
+			m.ownTx[txs[i].Sender] = int32(i)
 		}
 	}
 
 	sim.Shard(len(rxs), m.workersFor(len(rxs)), func(lo, hi int) {
-		var buf []int32
+		s, _ := m.scratch.Get().(*deliverScratch)
+		if s == nil {
+			s = newDeliverScratch()
+		}
 		for i := lo; i < hi; i++ {
 			rx := rxs[i]
 			if !rx.Alive {
@@ -183,10 +278,11 @@ func (m *Medium) Deliver(r sim.Round, txs []sim.Transmission, rxs []sim.NodeInfo
 				continue
 			}
 			if ix != nil {
-				buf = ix.Near(buf[:0], rx.At, 1)
+				s.buf = ix.Near(s.buf[:0], rx.At, 1)
 			}
-			out[i] = m.receive(r, txs, buf, ownTx, ix != nil, rx)
+			out[i] = m.receive(r, txs, s, ix != nil, rx)
 		}
+		m.scratch.Put(s)
 	})
 	return out
 }
@@ -206,30 +302,20 @@ func (m *Medium) workersFor(n int) int {
 	return w
 }
 
-// buildTxIndex buckets the round's transmission origins into cells of side
-// R2, so a receiver's 3x3 cell block covers every transmission within its
-// interference radius.
-func buildTxIndex(txs []sim.Transmission, cellSize float64) *geo.CellIndex {
-	pts := make([]geo.Point, len(txs))
-	for i := range txs {
-		pts[i] = txs[i].From
-	}
-	return geo.BuildCellIndex(pts, cellSize)
-}
-
-// receive computes one receiver's reception. When useIdx is set, candIdx
+// receive computes one receiver's reception. When useIdx is set, s.buf
 // holds the indices (into txs) of the grid-selected candidates, a superset
-// of every transmission within R2 of the receiver, and ownTx maps each
+// of every transmission within R2 of the receiver, and m.ownTx maps each
 // sender to its transmission (identity can't be answered by a positional
 // query); otherwise the full transmission slice is scanned. Both paths
 // classify candidates by exact distance, so they produce identical
-// receptions.
-func (m *Medium) receive(r sim.Round, txs []sim.Transmission, candIdx []int32, ownTx map[sim.NodeID]int32, useIdx bool, rx sim.NodeInfo) sim.Reception {
+// receptions. The partitions live in the worker's scratch, reused across
+// receivers and rounds.
+func (m *Medium) receive(r sim.Round, txs []sim.Transmission, s *deliverScratch, useIdx bool, rx sim.NodeInfo) sim.Reception {
 	radii := m.cfg.Radii
 
 	// Partition the round's transmissions as seen from this receiver.
 	var own *sim.Transmission
-	var inR1, gray []sim.Transmission // from other nodes
+	inR1, gray := s.inR1[:0], s.gray[:0] // from other nodes
 	consider := func(i int) {
 		tx := txs[i]
 		if tx.Sender == rx.ID {
@@ -245,10 +331,10 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, candIdx []int32, o
 		}
 	}
 	if useIdx {
-		if i, ok := ownTx[rx.ID]; ok {
+		if i, ok := m.ownTx[rx.ID]; ok {
 			own = &txs[i]
 		}
-		for _, i := range candIdx {
+		for _, i := range s.buf {
 			if txs[i].Sender != rx.ID {
 				consider(int(i))
 			}
@@ -258,18 +344,14 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, candIdx []int32, o
 			consider(i)
 		}
 	}
+	s.inR1, s.gray = inR1, gray // keep grown capacity for the next receiver
 	othersInR2 := len(inR1) + len(gray)
 
 	// Randomness for this receiver (gray-zone delivery and detector
 	// noise) is derived from (seed, round, receiver) on first use, so it
 	// is independent of the order receivers are processed in.
-	var rng *rand.Rand
-	rnd := func() float64 {
-		if rng == nil {
-			rng = rand.New(rand.NewSource(receiverSeed(m.cfg.Seed, r, rx.ID)))
-		}
-		return rng.Float64()
-	}
+	s.setReceiver(m.cfg.Seed, r, rx.ID)
+	rnd := s.rnd
 
 	// Physical delivery: a node always hears its own broadcast. A message
 	// from another node gets through only when it is the sole transmission
@@ -278,7 +360,7 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, candIdx []int32, o
 	// node within distance R2 of pj broadcasts", and pj is within R2 of
 	// itself (half-duplex). Gray-zone delivery is probabilistic
 	// (default: never).
-	var deliverable []sim.Transmission
+	deliverable := s.deliverable[:0]
 	if othersInR2 == 1 && own == nil {
 		deliverable = append(deliverable, inR1...)
 		for _, tx := range gray {
@@ -287,6 +369,7 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, candIdx []int32, o
 			}
 		}
 	}
+	s.deliverable = deliverable
 
 	// Adversarial loss (only effective before the adversary's horizon).
 	delivered := deliverable
@@ -318,6 +401,13 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, candIdx []int32, o
 
 	collision := m.cfg.Detector.Report(r, lostR1, lostR2, spurious, rnd)
 
+	// An empty reception carries nil Msgs — the common case at scale
+	// (collisions silence most receivers), and the reason the steady-state
+	// delivery loop stays nearly allocation-free. Non-empty message slices
+	// are freshly allocated because receivers are allowed to retain them.
+	if own == nil && len(delivered) == 0 {
+		return sim.Reception{Round: r, Collision: collision}
+	}
 	msgs := make([]sim.Message, 0, len(delivered)+1)
 	if own != nil {
 		msgs = append(msgs, own.Msg)

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"vinfra/internal/geo"
+)
+
+// TestEngineStepSteadyStateAllocs gates the round loop's allocation budget:
+// after warm-up, Engine.Step at 10k nodes must run allocation-free on the
+// engine's side (the NodeInfo view, transmission list and Transmit slots
+// are reused buffers). Before buffer reuse this was 23 allocs/round
+// (~2.6 MB); the gate keeps the win from silently regressing.
+func TestEngineStepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, tc := range []struct {
+		name     string
+		parallel bool
+		budget   float64
+	}{
+		// Sequential rounds allocate nothing; parallel rounds pay only the
+		// worker-pool goroutine spawns.
+		{"sequential", false, 0},
+		{"parallel", true, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := []Option{WithSeed(1)}
+			if tc.parallel {
+				opts = append(opts, WithWorkers(4))
+			}
+			e := NewEngine(&nullMedium{}, opts...)
+			for i := 0; i < 10_000; i++ {
+				e.Attach(geo.Point{X: float64(i)}, nil, func(env Env) Node {
+					return &countNode{env: env}
+				})
+			}
+			e.Run(3) // warm the reusable buffers
+			avg := testing.AllocsPerRun(5, func() { e.Step() })
+			if avg > tc.budget {
+				t.Errorf("steady-state Step allocates %.1f times per round at 10k nodes, want <= %v", avg, tc.budget)
+			}
+		})
+	}
+}

@@ -29,15 +29,24 @@ func BenchmarkEngineStep64Parallel(b *testing.B) { benchEngine(b, 64, true) }
 
 // nullMedium hears nothing: it isolates the engine's own per-round fan-out
 // cost from delivery cost (internal/radio's benchmarks cover the latter).
-type nullMedium struct{}
+// Like radio.Medium it reuses its reception slice across rounds, so the
+// benchmarks and the allocation gate see the engine's own allocations.
+type nullMedium struct{ out []Reception }
 
-func (nullMedium) Deliver(r Round, _ []Transmission, rxs []NodeInfo) []Reception {
-	out := make([]Reception, len(rxs))
+func (m *nullMedium) Deliver(r Round, _ []Transmission, rxs []NodeInfo) []Reception {
+	if cap(m.out) < len(rxs) {
+		m.out = make([]Reception, len(rxs))
+	}
+	out := m.out[:len(rxs)]
 	for i := range out {
 		out[i] = Reception{Round: r}
 	}
 	return out
 }
+
+// benchMsg is a shared pre-boxed message: transmitting it allocates
+// nothing, so the large benchmarks measure the engine, not boxing.
+var benchMsg Message = "m"
 
 // countNode transmits every round and counts receptions without retaining
 // them, so large benchmarks run in constant memory.
@@ -46,7 +55,7 @@ type countNode struct {
 	received int
 }
 
-func (n *countNode) Transmit(r Round) Message { return int(r) }
+func (n *countNode) Transmit(Round) Message   { return benchMsg }
 func (n *countNode) Receive(Round, Reception) { n.received++ }
 
 // The 1k/10k sizes track the round-delivery scaling work: they measure the
@@ -56,7 +65,7 @@ func benchEngineLarge(b *testing.B, nodes int, parallel bool) {
 	if parallel {
 		opts = append(opts, WithParallel())
 	}
-	e := NewEngine(nullMedium{}, opts...)
+	e := NewEngine(&nullMedium{}, opts...)
 	for i := 0; i < nodes; i++ {
 		e.Attach(geo.Point{X: float64(i)}, nil, func(env Env) Node {
 			return &countNode{env: env}

@@ -19,14 +19,35 @@ type Engine struct {
 
 	round Round
 	nodes []*nodeState // indexed by NodeID
+	alive []*nodeState // alive nodes in NodeID order; see compactAlive
+	dirty bool         // a node died since alive was last compacted
 	crash map[Round][]NodeID
 	hooks []RoundHook
 	stats Stats
+
+	// Reusable per-round buffers: the steady-state round loop allocates
+	// nothing of its own.
+	info    []NodeInfo // medium view, indexed by NodeID, kept in sync
+	txs     []Transmission
+	txSlots []Message // parallel Transmit scratch, indexed by NodeID
+
+	// Cached shard closures and their per-round inputs. Shard hands the
+	// callback to worker goroutines, which forces it onto the heap, so
+	// building the closures fresh every round would allocate; instead they
+	// are built once and read the current round (and receptions) from
+	// these fields.
+	curRound Round
+	curRxs   []Reception
+	mobFn    func(lo, hi int)
+	txFn     func(lo, hi int)
+	rxFn     func(lo, hi int)
 }
 
 // RoundHook observes a completed round: the transmissions that occurred and
 // the receptions delivered (indexed by NodeID). Hooks run sequentially
-// after delivery; they may record the values but must not mutate them.
+// after delivery; they may read the values but must not mutate them, and
+// the slices are only valid for the duration of the call — the engine and
+// medium reuse them the next round, so copy anything worth keeping.
 type RoundHook func(r Round, txs []Transmission, rxs []Reception)
 
 // Stats accumulates engine-level measurements used by the experiment
@@ -116,6 +137,8 @@ func (e *Engine) Attach(pos geo.Point, mover Mover, build func(Env) Node) NodeID
 		panic("sim: Attach build function returned nil Node")
 	}
 	e.nodes = append(e.nodes, st)
+	e.alive = append(e.alive, st)
+	e.info = append(e.info, NodeInfo{ID: id, At: pos, Alive: true})
 	return id
 }
 
@@ -132,11 +155,27 @@ func mix(seed, id int64) int64 {
 // Crash fails node id immediately: it stops transmitting and receiving from
 // the next round onward. Crashing an already-crashed node is a no-op.
 func (e *Engine) Crash(id NodeID) {
-	e.nodes[id].alive = false
+	st := e.nodes[id]
+	if !st.alive {
+		return
+	}
+	st.alive = false
+	e.info[id].Alive = false
+	e.dirty = true
 }
 
-// CrashAt schedules node id to crash at the start of round r.
+// CrashAt schedules node id to crash at the start of round r. A round at or
+// before the engine's current round applies the crash immediately — for
+// r equal to the current round that is exactly what the scheduled path
+// would do (crashes apply before the round's mobility and transmissions),
+// and a round already in the past must not be dropped silently, which is
+// what the schedule map alone used to do with late crash requests from
+// churn generators.
 func (e *Engine) CrashAt(id NodeID, r Round) {
+	if r <= e.round {
+		e.Crash(id)
+		return
+	}
 	e.crash[r] = append(e.crash[r], id)
 }
 
@@ -154,13 +193,29 @@ func (e *Engine) Alive(id NodeID) bool {
 
 // AliveCount returns the number of alive nodes.
 func (e *Engine) AliveCount() int {
-	n := 0
-	for _, st := range e.nodes {
+	e.compactAlive()
+	return len(e.alive)
+}
+
+// compactAlive drops dead nodes from the alive list (preserving NodeID
+// order) once any have died. Every per-round loop walks this list, so a
+// long churn run's cost tracks the population that is actually alive
+// instead of every node ever attached.
+func (e *Engine) compactAlive() {
+	if !e.dirty {
+		return
+	}
+	live := e.alive[:0]
+	for _, st := range e.alive {
 		if st.alive {
-			n++
+			live = append(live, st)
 		}
 	}
-	return n
+	for i := len(live); i < len(e.alive); i++ {
+		e.alive[i] = nil // release the dead node for GC
+	}
+	e.alive = live
+	e.dirty = false
 }
 
 // NumNodes returns the total number of nodes ever attached.
@@ -177,6 +232,7 @@ func (e *Engine) Position(id NodeID) geo.Point {
 // respawn nodes in new regions).
 func (e *Engine) SetPosition(id NodeID, p geo.Point) {
 	e.nodes[id].pos = p
+	e.info[id].At = p
 }
 
 // Round returns the next round to execute.
@@ -203,33 +259,43 @@ func (e *Engine) Run(n int) {
 
 // Step executes a single round: scheduled crashes, mobility, transmission
 // fan-out, propagation through the medium, and reception fan-out.
+//
+// The steady-state round loop allocates nothing: the NodeInfo view, the
+// transmission list and the parallel Transmit slots are engine-owned
+// buffers reused across rounds, and every per-round walk (mobility,
+// Transmit, Receive) covers only the alive list, so dead nodes cost
+// nothing after the round they die in. The NodeInfo slice handed to the
+// medium still lists every node ever attached (the Medium contract), with
+// dead entries frozen at their final position.
 func (e *Engine) Step() {
 	r := e.round
 	e.round++
+	e.curRound = r
 
 	for _, id := range e.crash[r] {
-		e.nodes[id].alive = false
+		e.Crash(id)
 	}
 	delete(e.crash, r)
+	e.compactAlive()
 
 	// Mobility: move every alive node. Per-node RNG call order within a
 	// round is fixed (Move, then Transmit), so this is deterministic
 	// whether the shards run sequentially or in parallel.
-	e.shard(func(lo, hi int) {
-		for _, st := range e.nodes[lo:hi] {
-			if st.alive && st.mover != nil {
-				st.pos = st.mover.Move(r, st.pos, st.rng.Intn)
+	if e.mobFn == nil {
+		e.mobFn = func(lo, hi int) {
+			for _, st := range e.alive[lo:hi] {
+				if st.mover != nil {
+					st.pos = st.mover.Move(e.curRound, st.pos, st.rng.Intn)
+					e.info[st.id].At = st.pos
+				}
 			}
 		}
-	})
+	}
+	e.shard(e.mobFn)
 
 	txs := e.collectTransmissions(r)
 
-	info := make([]NodeInfo, len(e.nodes))
-	for i, st := range e.nodes {
-		info[i] = NodeInfo{ID: st.id, At: st.pos, Alive: st.alive}
-	}
-	rxs := e.medium.Deliver(r, txs, info)
+	rxs := e.medium.Deliver(r, txs, e.info)
 	if len(rxs) != len(e.nodes) {
 		panic(fmt.Sprintf("sim: medium returned %d receptions for %d nodes", len(rxs), len(e.nodes)))
 	}
@@ -252,48 +318,53 @@ func (e *Engine) Step() {
 
 // collectTransmissions fans Transmit out across the worker pool (writing
 // into per-node slots) and then merges the non-nil results in NodeID order,
-// so the transmission list is identical to a sequential collection.
+// so the transmission list is identical to a sequential collection. The
+// returned slice is engine-owned and valid until the next round.
 func (e *Engine) collectTransmissions(r Round) []Transmission {
-	var txs []Transmission
+	e.txs = e.txs[:0]
 	if e.parallel {
-		msgs := make([]Message, len(e.nodes))
-		e.shard(func(lo, hi int) {
-			for _, st := range e.nodes[lo:hi] {
-				if st.alive {
-					msgs[st.id] = st.node.Transmit(r)
+		if len(e.txSlots) < len(e.nodes) {
+			e.txSlots = make([]Message, len(e.nodes))
+		}
+		if e.txFn == nil {
+			e.txFn = func(lo, hi int) {
+				for _, st := range e.alive[lo:hi] {
+					e.txSlots[st.id] = st.node.Transmit(e.curRound)
 				}
 			}
-		})
-		for _, st := range e.nodes {
-			if st.alive && msgs[st.id] != nil {
-				txs = append(txs, Transmission{Sender: st.id, From: st.pos, Msg: msgs[st.id]})
+		}
+		e.shard(e.txFn)
+		for _, st := range e.alive {
+			if m := e.txSlots[st.id]; m != nil {
+				e.txs = append(e.txs, Transmission{Sender: st.id, From: st.pos, Msg: m})
+				e.txSlots[st.id] = nil // drop the reference for GC
 			}
 		}
-		return txs
+		return e.txs
 	}
-	for _, st := range e.nodes {
-		if !st.alive {
-			continue
-		}
+	for _, st := range e.alive {
 		if m := st.node.Transmit(r); m != nil {
-			txs = append(txs, Transmission{Sender: st.id, From: st.pos, Msg: m})
+			e.txs = append(e.txs, Transmission{Sender: st.id, From: st.pos, Msg: m})
 		}
 	}
-	return txs
+	return e.txs
 }
 
 func (e *Engine) deliver(r Round, rxs []Reception) {
-	e.shard(func(lo, hi int) {
-		for _, st := range e.nodes[lo:hi] {
-			if st.alive {
-				st.node.Receive(r, rxs[st.id])
+	e.curRxs = rxs
+	if e.rxFn == nil {
+		e.rxFn = func(lo, hi int) {
+			for _, st := range e.alive[lo:hi] {
+				st.node.Receive(e.curRound, e.curRxs[st.id])
 			}
 		}
-	})
+	}
+	e.shard(e.rxFn)
+	e.curRxs = nil
 }
 
-// shard runs fn over contiguous ranges covering all nodes: on one range
-// sequentially by default, or on per-worker ranges concurrently under
+// shard runs fn over contiguous ranges covering the alive list: on one
+// range sequentially by default, or on per-worker ranges concurrently under
 // WithParallel. Callers must only touch per-node state (or per-node slots)
 // inside fn.
 func (e *Engine) shard(fn func(lo, hi int)) {
@@ -304,7 +375,7 @@ func (e *Engine) shard(fn func(lo, hi int)) {
 			w = runtime.GOMAXPROCS(0)
 		}
 	}
-	Shard(len(e.nodes), w, fn)
+	Shard(len(e.alive), w, fn)
 }
 
 // Shard splits [0, n) into at most workers contiguous chunks and runs fn on

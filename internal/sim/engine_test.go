@@ -294,3 +294,105 @@ func TestEngineNumNodesAndRound(t *testing.T) {
 		t.Errorf("Round after 7 steps = %d", e.Round())
 	}
 }
+
+// TestCrashAtPastRoundAppliesImmediately is the regression test for the
+// silently-dropped late CrashAt: a crash scheduled for a round that already
+// ran must fire now, not never.
+func TestCrashAtPastRoundAppliesImmediately(t *testing.T) {
+	e := NewEngine(perfectMedium{})
+	var a, b *echoNode
+	idA := e.Attach(geo.Point{}, nil, func(env Env) Node { a = &echoNode{env: env}; return a })
+	idB := e.Attach(geo.Point{}, nil, func(env Env) Node { b = &echoNode{env: env}; return b })
+	e.Run(5)
+
+	e.CrashAt(idA, 2) // round 2 is long past: must apply immediately
+	if e.Alive(idA) {
+		t.Fatal("CrashAt for a past round was silently dropped")
+	}
+	e.Run(3)
+	if a.sent != 5 {
+		t.Errorf("node crashed late sent %d messages, want 5", a.sent)
+	}
+
+	// A crash scheduled for the engine's current round fires before that
+	// round's transmissions, exactly like the scheduled path.
+	e.CrashAt(idB, e.Round())
+	if e.Alive(idB) {
+		t.Fatal("CrashAt for the current round did not apply")
+	}
+	e.Run(1)
+	if b.sent != 8 {
+		t.Errorf("node crashed at current round sent %d messages, want 8", b.sent)
+	}
+	if got := e.AliveCount(); got != 0 {
+		t.Errorf("AliveCount = %d, want 0", got)
+	}
+}
+
+// TestChurnLongevity drives a long run in which most nodes die through
+// every crash mechanism (Crash, CrashAt, Leave) and checks the engine's
+// dead-node bookkeeping: dead nodes never transmit again, the medium keeps
+// seeing a reception slot for every node ever attached (the
+// len(rxs) == len(nodes) contract), dead entries in the medium's view stay
+// marked dead at their final position, and survivors keep exchanging
+// messages.
+func TestChurnLongevity(t *testing.T) {
+	e := NewEngine(perfectMedium{}, WithSeed(3))
+	const n = 60
+	echoes := make([]*echoNode, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Attach(geo.Point{X: float64(i)}, nil, func(env Env) Node {
+			echoes[i] = &echoNode{env: env}
+			return echoes[i]
+		})
+	}
+	crashedAt := make(map[NodeID]Round)
+	e.OnRound(func(r Round, txs []Transmission, rxs []Reception) {
+		if len(rxs) != e.NumNodes() {
+			t.Fatalf("round %d: %d receptions for %d nodes", r, len(rxs), e.NumNodes())
+		}
+		for _, tx := range txs {
+			if cr, ok := crashedAt[tx.Sender]; ok && r >= cr {
+				t.Errorf("round %d: dead node %d transmitted", r, tx.Sender)
+			}
+		}
+	})
+
+	const dead = 45
+	for i := 0; i < dead; i++ {
+		id := NodeID(i)
+		switch i % 3 {
+		case 0:
+			e.Crash(id)
+			crashedAt[id] = e.Round()
+		case 1:
+			e.Leave(id)
+			crashedAt[id] = e.Round()
+		case 2:
+			e.CrashAt(id, e.Round()+2)
+			crashedAt[id] = e.Round() + 2
+		}
+		e.Run(1)
+	}
+	e.Run(40)
+
+	if got := e.AliveCount(); got != n-dead {
+		t.Errorf("AliveCount = %d, want %d", got, n-dead)
+	}
+	total := e.Round()
+	for i, node := range echoes {
+		want := int(total)
+		if cr, ok := crashedAt[NodeID(i)]; ok {
+			want = int(cr)
+		}
+		if node.sent != want {
+			t.Errorf("node %d sent %d messages, want %d", i, node.sent, want)
+		}
+	}
+	// Survivors still hear each other in the final round.
+	last := echoes[n-1].heard[len(echoes[n-1].heard)-1]
+	if len(last) != n-dead {
+		t.Errorf("survivor heard %d messages in the last round, want %d", len(last), n-dead)
+	}
+}

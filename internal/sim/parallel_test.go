@@ -60,3 +60,71 @@ func TestParallelEngineEqualsSequential(t *testing.T) {
 		}
 	}
 }
+
+// churnResult is everything observable from a churn run: per-node reception
+// logs, send counts, final positions and liveness.
+type churnResult struct {
+	heard [][][]Message
+	sent  []int
+	pos   []geo.Point
+	alive []bool
+}
+
+// runChurnScenario drives a cluster through the full churn surface — mid-run
+// Attach, CrashAt in the past / at the current round / in the future, Leave,
+// and immediate Crash — under the given engine options.
+func runChurnScenario(opts ...Option) churnResult {
+	e := NewEngine(perfectMedium{}, append([]Option{WithSeed(99)}, opts...)...)
+	var echoes []*echoNode
+	attach := func(n int) {
+		for i := 0; i < n; i++ {
+			pos := geo.Point{X: float64(len(echoes)), Y: 0.5 * float64(len(echoes)%7)}
+			e.Attach(pos, wanderMover{}, func(env Env) Node {
+				node := &echoNode{env: env}
+				echoes = append(echoes, node)
+				return node
+			})
+		}
+	}
+	attach(24)
+	e.Run(4)
+	e.CrashAt(2, 1)         // past round: applies immediately
+	e.Leave(5)              // immediate departure
+	e.CrashAt(9, e.Round()) // current round: fires before its transmissions
+	e.CrashAt(11, e.Round()+3)
+	e.Run(3)
+	attach(8) // mid-run joiners
+	e.Crash(0)
+	e.CrashAt(27, e.Round()+2)
+	e.Run(6)
+
+	res := churnResult{
+		heard: make([][][]Message, len(echoes)),
+		sent:  make([]int, len(echoes)),
+		pos:   make([]geo.Point, len(echoes)),
+		alive: make([]bool, len(echoes)),
+	}
+	for i, n := range echoes {
+		res.heard[i] = n.heard
+		res.sent[i] = n.sent
+		res.pos[i] = e.Position(NodeID(i))
+		res.alive[i] = e.Alive(NodeID(i))
+	}
+	return res
+}
+
+// TestParallelChurnEqualsSequential extends the determinism contract to the
+// churn surface: mid-run Attach plus CrashAt/Leave/Crash under WithParallel
+// must produce receptions, trajectories and liveness identical to the
+// sequential run.
+func TestParallelChurnEqualsSequential(t *testing.T) {
+	want := runChurnScenario()
+	for _, opt := range []Option{WithParallel(), WithWorkers(2), WithWorkers(5), WithWorkers(32)} {
+		for rep := 0; rep < 3; rep++ {
+			got := runChurnScenario(opt)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel churn run diverged from sequential")
+			}
+		}
+	}
+}

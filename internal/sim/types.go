@@ -77,6 +77,13 @@ type NodeInfo struct {
 // transmissions. rxs lists every attached node (alive or crashed) in ID
 // order; the returned slice is indexed identically. Entries for crashed
 // nodes are ignored.
+//
+// Both slice arguments are engine-owned buffers reused across rounds, so a
+// Medium must not retain them past the call; symmetrically, the engine
+// treats the returned slice as valid only until the next Deliver call, so a
+// Medium may reuse it (radio.Medium does). Individual Reception values are
+// copied out to nodes — only the non-nil Msgs slices inside them must stay
+// untouched once returned, because receivers may retain those.
 type Medium interface {
 	Deliver(r Round, txs []Transmission, rxs []NodeInfo) []Reception
 }

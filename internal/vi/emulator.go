@@ -15,6 +15,7 @@ import (
 // every emulator and client.
 type Deployment struct {
 	locs     []geo.Point
+	regionIx *geo.CellIndex // cell size R1/4: RegionOf is a 3x3-cell probe
 	radii    geo.Radii
 	schedule Schedule
 	timing   Timing
@@ -57,6 +58,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		program: cfg.Program,
 		vmax:    cfg.VMax,
 	}
+	d.regionIx = geo.BuildCellIndex(d.locs, d.RegionRadius())
 	d.schedule = BuildSchedule(d.locs, d.radii)
 	d.timing = Timing{S: d.schedule.Len()}
 	if cfg.NewCM != nil {
@@ -84,24 +86,28 @@ func (d *Deployment) Timing() Timing { return d.timing }
 // Schedule returns the deployment's broadcast schedule.
 func (d *Deployment) Schedule() Schedule { return d.schedule }
 
-// Locations returns the virtual node locations (callers must not mutate).
-func (d *Deployment) Locations() []geo.Point { return d.locs }
+// Locations returns a copy of the virtual node locations: the deployment is
+// shared by every emulator and client, so callers get their own slice
+// rather than a window into shared state.
+func (d *Deployment) Locations() []geo.Point {
+	return append([]geo.Point(nil), d.locs...)
+}
 
 // NumVNodes returns the number of virtual nodes.
 func (d *Deployment) NumVNodes() int { return len(d.locs) }
 
 // RegionOf returns the virtual node whose replication region contains p
-// (the nearest one within R1/4), or None.
+// (the nearest one within R1/4, exact ties toward the lower VNodeID), or
+// None. The query probes the 3x3 block of R1/4-sized cells around p in the
+// deployment's location index, so its cost is independent of the number of
+// virtual nodes — every device re-evaluates its region at the start of
+// every virtual round, which made the old linear scan the emulation's
+// O(devices x vnodes) bottleneck.
 func (d *Deployment) RegionOf(p geo.Point) VNodeID {
-	best := None
-	bestD := d.RegionRadius()
-	for i, loc := range d.locs {
-		if dist := p.Dist(loc); dist <= bestD {
-			best = VNodeID(i)
-			bestD = dist
-		}
+	if i, ok := d.regionIx.NearestWithin(p, d.RegionRadius()); ok {
+		return VNodeID(i)
 	}
-	return best
+	return None
 }
 
 // EmulatorHooks observe emulator lifecycle events for tests and metrics.
