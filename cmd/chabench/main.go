@@ -1,10 +1,12 @@
-// Command chabench runs the reproduction experiment suite (E1–E11) through
+// Command chabench runs the reproduction experiment suite (E1–E12) through
 // the internal/harness registry: the paper's Figure 2, the
 // constant-overhead claims of Theorem 14, the Property 4 color invariant,
 // the correctness theorems, the Section 4 emulation overhead and churn
 // behaviour, the Section 1.5 baseline comparisons, the ablations, the
-// round-delivery scaling table (scan vs grid spatial index), and the metro
-// churn-at-scale campaign (E11).
+// round-delivery scaling table (scan vs grid spatial index), the metro
+// churn-at-scale campaign (E11), and the state-plane cost table (E12:
+// per-virtual-round rounds, measured wire bytes and rounds/sec on the
+// wire-codec stack).
 //
 // Usage:
 //
@@ -19,7 +21,7 @@
 //
 // Comparing against a committed baseline:
 //
-//	chabench -json -only E10,E11 -seeds 1,2,3 -out bench.json
+//	chabench -json -only E10,E11,E12 -seeds 1,2,3 -out bench.json
 //	chabench -compare bench.json                  # vs BENCH_BASELINE.json
 //	chabench -compare bench.json -calibrate -tolerance 0.30
 //
@@ -36,14 +38,14 @@ import (
 	"strconv"
 	"strings"
 
-	_ "vinfra/internal/experiments" // registers E1..E11 descriptors
+	_ "vinfra/internal/experiments" // registers E1..E12 descriptors
 	"vinfra/internal/harness"
 )
 
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "run reduced parameter sweeps")
-		only     = flag.String("only", "", "run a subset: comma-separated groups (E1..E11) or sub-IDs (E2a)")
+		only     = flag.String("only", "", "run a subset: comma-separated groups (E1..E12) or sub-IDs (E2a)")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report instead of text tables")
 		outPath  = flag.String("out", "", "write output to a file instead of stdout")
 		seedsStr = flag.String("seeds", "", "comma-separated seed list replicated across every cell (default: per-experiment)")

@@ -32,22 +32,40 @@
 //     allocates only the message slices receivers actually get.
 //   - cd, cm: the model's collision detector classes and contention
 //     managers.
+//   - wire: the deterministic byte-oriented codec behind the state plane:
+//     append-style varint/length-prefixed encodings into caller-supplied
+//     byte slices, canonical by construction (one encoding per value,
+//     minimal varints, validated lengths), a zero-copy decoding cursor
+//     with a sticky error, pooled scratch buffers, and an allocation-free
+//     chainable FNV-1a digest type. Dependency-free.
 //   - cha: Convergent History Agreement, the paper's core protocol.
-//   - vi: the full virtual infrastructure emulation (Section 4).
+//     Value is a byte string carrying a cached digest, so history digests
+//     fold cached 64-bit digests instead of re-hashing proposal bytes.
+//   - vi: the full virtual infrastructure emulation (Section 4). Virtual
+//     node states, payloads and proposals are byte strings encoded with
+//     wire; Codec adapts typed states through explicit
+//     EncodeState/DecodeState functions, and every protocol message's
+//     WireSize is the exact length of its encoding. encoding/gob is off
+//     the per-round path entirely (GobCodec remains as an explicit
+//     reflection-based compatibility adapter for prototyping).
 //   - apps, baseline: applications on top of the infrastructure and the
-//     baselines the paper argues against.
+//     baselines the paper argues against. Application payloads and states
+//     are canonical wire encodings (a one-byte kind tag plus fixed field
+//     sequences) instead of hand-parsed prefix strings.
 //   - mobility, metrics: mobility models and table rendering.
-//   - experiments: the reproduction experiment suite E1–E11 — E11 "metro"
+//   - experiments: the reproduction experiment suite E1–E12 — E11 "metro"
 //     drives grids of virtual nodes through heavy churn (Leave, scheduled
 //     and late CrashAt, mid-run Attach) on the parallel grid-indexed
-//     stack. Every table registers a harness.Descriptor (parameter grid,
+//     stack, and E12 "state plane" measures per-virtual-round emulation
+//     cost (rounds, measured wire bytes, rounds/sec) at 9/25/49 virtual
+//     nodes. Every table registers a harness.Descriptor (parameter grid,
 //     seed list, typed rows) in its file's init.
 //   - harness: the registry-based experiment runner. It fans
 //     experiment×parameter×seed cells out over a bounded worker pool,
 //     merges results deterministically (parallel output is byte-identical
 //     to sequential), renders text tables through internal/metrics, and
 //     emits a machine-readable JSON report with per-cell wall time,
-//     rounds/sec and allocation samples.
+//     rounds/sec, transmitted wire bytes and allocation samples.
 //
 // cmd/chabench runs the suite through the harness registry; cmd/visim runs
 // an interactive tracking simulation (pass -parallel to shard rounds
@@ -66,21 +84,26 @@
 //	go test ./internal/radio/ -bench 'Deliver' -benchtime 10x
 //	go test ./internal/sim/ -bench 'EngineStep' -benchtime 10x
 //	go test ./internal/vi/ -bench 'RegionOf' -benchtime 100000x
-//	go run ./cmd/chabench -only E10,E11
+//	go test ./internal/vi/ -bench 'EmulatorVRound' -benchtime 30x
+//	go run ./cmd/chabench -only E10,E11,E12
 //
 // Steady-state allocations per round are gated by tests (skipped under
 // -race): TestDeliverSteadyStateAllocs and TestEngineStepSteadyStateAllocs
 // pin the allocation-free round loop — Engine.Step allocates nothing and
 // Deliver allocates only the message slices of receivers that actually
-// hear something.
+// hear something — and TestEmulatorVRoundSteadyStateAllocs pins the
+// wire-codec state plane (a full virtual round at 9 virtual nodes in at
+// most 600 allocations; the gob+string stack needed ~10,400). CI also
+// runs a fuzz smoke job: 10 seconds each over the wire decoder and the
+// adversarial-input DecodeRoundInput/DecodeJoinAckMsg paths.
 //
 // # The perf trajectory and -compare workflow
 //
 // BENCH_BASELINE.json at the repo root is a committed chabench JSON report
-// (E10 and E11, seeds 1–3) whose header notes the machine and commit it
-// was generated on. To check a change against it:
+// (E10, E11 and E12, seeds 1–3) whose header notes the machine and commit
+// it was generated on. To check a change against it:
 //
-//	go run ./cmd/chabench -json -only E10,E11 -seeds 1,2,3 -out bench.json
+//	go run ./cmd/chabench -json -only E10,E11,E12 -seeds 1,2,3 -out bench.json
 //	go run ./cmd/chabench -compare bench.json -calibrate -tolerance 0.30
 //
 // -compare matches cells by (experiment, cell, seed), computes wall-time

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 
 	"vinfra/internal/cd"
@@ -13,6 +14,7 @@ import (
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // echoState counts the messages the virtual node has received.
@@ -38,7 +40,15 @@ func main() {
 				if !sched.ScheduledIn(v, vround-1) {
 					return nil
 				}
-				return &vi.Message{Payload: fmt.Sprintf("seen %d messages", s.Count)}
+				return vi.Text(fmt.Sprintf("seen %d messages", s.Count))
+			},
+			// The state's canonical wire encoding: one varint. Equal
+			// states encode to equal bytes by construction.
+			EncodeState: func(dst []byte, s echoState) []byte {
+				return wire.AppendUvarint(dst, uint64(s.Count))
+			},
+			DecodeState: func(d *wire.Decoder) (echoState, error) {
+				return echoState{Count: int(d.Uvarint())}, d.Err()
 			},
 		}
 	}
@@ -75,7 +85,7 @@ func main() {
 				for _, m := range recv {
 					fmt.Printf("vround %2d: virtual node says %q\n", vr, m.Payload)
 				}
-				return &vi.Message{Payload: fmt.Sprintf("ping %d", vr)}
+				return vi.Text(fmt.Sprintf("ping %d", vr))
 			}))
 	})
 
@@ -90,7 +100,7 @@ func main() {
 		fmt.Printf("replica %d: checkpointed through vround %d, status of last round: %v\n",
 			i, em.Core().Floor(), em.Core().Status(cha.Instance(vrounds)))
 	}
-	consistent := emulators[0].StateBefore(vrounds+1) == emulators[1].StateBefore(vrounds+1) &&
-		emulators[1].StateBefore(vrounds+1) == emulators[2].StateBefore(vrounds+1)
+	consistent := bytes.Equal(emulators[0].StateBefore(vrounds+1), emulators[1].StateBefore(vrounds+1)) &&
+		bytes.Equal(emulators[1].StateBefore(vrounds+1), emulators[2].StateBefore(vrounds+1))
 	fmt.Printf("replicas consistent: %v\n", consistent)
 }

@@ -1,12 +1,9 @@
 package apps
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
 	"vinfra/internal/geo"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // Address allocation over virtual infrastructure (paper reference [47]:
@@ -24,48 +21,68 @@ type Lease struct {
 }
 
 // AllocState is the allocator virtual node state. Leases are kept sorted
-// by name (no maps: deterministic gob encoding).
+// by name (the canonical order of the state encoding).
 type AllocState struct {
 	Block  int // base address of this node's block
 	Next   int // next offset to hand out
 	Leases []Lease
 }
 
+func encodeAllocState(dst []byte, s AllocState) []byte {
+	dst = wire.AppendUvarint(dst, uint64(s.Block))
+	dst = wire.AppendUvarint(dst, uint64(s.Next))
+	dst = wire.AppendUvarint(dst, uint64(len(s.Leases)))
+	for _, l := range s.Leases {
+		dst = wire.AppendString(dst, l.Name)
+		dst = wire.AppendUvarint(dst, uint64(l.Addr))
+	}
+	return dst
+}
+
+func decodeAllocState(d *wire.Decoder) (AllocState, error) {
+	var s AllocState
+	s.Block = int(d.Uvarint())
+	s.Next = int(d.Uvarint())
+	n := d.Uvarint()
+	if d.Err() != nil || n > uint64(d.Rem()) {
+		return AllocState{}, wire.ErrMalformed
+	}
+	for i := uint64(0); i < n; i++ {
+		name := d.String()
+		addr := int(d.Uvarint())
+		if d.Err() != nil {
+			return AllocState{}, d.Err()
+		}
+		s.Leases = append(s.Leases, Lease{Name: name, Addr: addr})
+	}
+	return s, nil
+}
+
 // BlockSize is the number of addresses each virtual node owns.
 const BlockSize = 256
 
-// Allocator wire formats.
-const (
-	allocReqPrefix   = "ADR|" // ADR|name        (request)
-	allocFreePrefix  = "ADF|" // ADF|name        (release)
-	allocGrantPrefix = "ADA|" // ADA|name|addr   (assignment broadcast)
-)
-
 // AllocRequest builds an address request for the named client.
 func AllocRequest(name string) *vi.Message {
-	return &vi.Message{Payload: allocReqPrefix + name}
+	return nameMsg(tagAllocRequest, name)
 }
 
 // AllocRelease builds an address release for the named client.
 func AllocRelease(name string) *vi.Message {
-	return &vi.Message{Payload: allocFreePrefix + name}
+	return nameMsg(tagAllocRelease, name)
 }
 
 // ParseAssignment parses an assignment broadcast into (name, addr).
-func ParseAssignment(payload string) (name string, addr int, ok bool) {
-	if !strings.HasPrefix(payload, allocGrantPrefix) {
+func ParseAssignment(payload []byte) (name string, addr int, ok bool) {
+	d, ok := payloadBody(payload, tagAllocGrant)
+	if !ok {
 		return "", 0, false
 	}
-	rest := payload[len(allocGrantPrefix):]
-	sep := strings.LastIndexByte(rest, '|')
-	if sep < 0 {
+	name = d.String()
+	addr = int(d.Uvarint())
+	if d.Finish() != nil {
 		return "", 0, false
 	}
-	a, err := strconv.Atoi(rest[sep+1:])
-	if err != nil {
-		return "", 0, false
-	}
-	return rest[:sep], a, true
+	return name, addr, true
 }
 
 func (s *AllocState) find(name string) (int, bool) {
@@ -113,11 +130,10 @@ func AllocProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 			},
 			Step: func(s AllocState, vround int, in vi.RoundInput) AllocState {
 				for _, m := range in.Msgs {
-					switch {
-					case strings.HasPrefix(m, allocReqPrefix):
-						s.lease(m[len(allocReqPrefix):])
-					case strings.HasPrefix(m, allocFreePrefix):
-						s.release(m[len(allocFreePrefix):])
+					if name, ok := parseName(m, tagAllocRequest); ok {
+						s.lease(name)
+					} else if name, ok := parseName(m, tagAllocRelease); ok {
+						s.release(name)
 					}
 				}
 				return s
@@ -127,10 +143,13 @@ func AllocProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 					return nil
 				}
 				l := s.Leases[vround%len(s.Leases)]
-				return &vi.Message{
-					Payload: fmt.Sprintf("%s%s|%d", allocGrantPrefix, l.Name, l.Addr),
-				}
+				p := []byte{tagAllocGrant}
+				p = wire.AppendString(p, l.Name)
+				p = wire.AppendUvarint(p, uint64(l.Addr))
+				return &vi.Message{Payload: p}
 			},
+			EncodeState: encodeAllocState,
+			DecodeState: decodeAllocState,
 		}
 	}
 }

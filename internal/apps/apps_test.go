@@ -1,7 +1,6 @@
 package apps_test
 
 import (
-	"fmt"
 	"testing"
 
 	"vinfra/internal/apps"
@@ -64,6 +63,15 @@ func (h *harness) addClient(pos geo.Point, prog vi.ClientProgram) {
 
 func (h *harness) runVRounds(n int) {
 	h.eng.Run(n * h.dep.Timing().RoundsPerVRound())
+}
+
+// pl builds a RoundInput delivering the given messages' payloads.
+func pl(ms ...*vi.Message) vi.RoundInput {
+	var in vi.RoundInput
+	for _, m := range ms {
+		in.Msgs = append(in.Msgs, m.Payload)
+	}
+	return in
 }
 
 func TestRegisterWriteThenRead(t *testing.T) {
@@ -135,26 +143,29 @@ func TestRegisterConcurrentWritersConverge(t *testing.T) {
 }
 
 func TestParseRegisterReply(t *testing.T) {
-	tests := []struct {
-		payload string
-		version int
-		value   string
-		ok      bool
-	}{
-		{"REGV|3|abc", 3, "abc", true},
-		{"REGV|0|", 0, "", true},
-		{"REGV|7|x|y", 7, "x|y", true},
-		{"REGW|abc", 0, "", false},
-		{"REGV|", 0, "", false},
-		{"REGV|zz|v", 0, "", false},
-		{"", 0, "", false},
+	sched := vi.BuildSchedule([]geo.Point{{}}, testRadii)
+	prog := apps.RegisterProgram(sched)(0)
+	st := prog.Init(0, geo.Point{})
+	st = prog.OnRound(st, 1, pl(apps.RegisterWrite("abc")))
+	out := prog.Outgoing(st, 2)
+	if out == nil {
+		t.Fatal("scheduled register must broadcast")
 	}
-	for _, tt := range tests {
-		v, val, ok := apps.ParseRegisterReply(tt.payload)
-		if v != tt.version || val != tt.value || ok != tt.ok {
-			t.Errorf("ParseRegisterReply(%q) = (%d, %q, %v), want (%d, %q, %v)",
-				tt.payload, v, val, ok, tt.version, tt.value, tt.ok)
-		}
+	v, val, ok := apps.ParseRegisterReply(out.Payload)
+	if !ok || v != 1 || val != "abc" {
+		t.Errorf("ParseRegisterReply = (%d, %q, %v), want (1, \"abc\", true)", v, val, ok)
+	}
+	if _, _, ok := apps.ParseRegisterReply(apps.RegisterWrite("x").Payload); ok {
+		t.Error("write payload accepted as reply")
+	}
+	if _, _, ok := apps.ParseRegisterReply(out.Payload[:len(out.Payload)-1]); ok {
+		t.Error("truncated reply accepted")
+	}
+	if _, _, ok := apps.ParseRegisterReply(nil); ok {
+		t.Error("empty payload accepted")
+	}
+	if _, _, ok := apps.ParseRegisterReply(append(out.Payload[:len(out.Payload):len(out.Payload)], 0)); ok {
+		t.Error("reply with trailing bytes accepted")
 	}
 }
 
@@ -206,23 +217,37 @@ func TestTrackerGossipAcrossVNodes(t *testing.T) {
 }
 
 func TestTrackerDigestRoundTrip(t *testing.T) {
-	var st apps.TrackerState
-	_ = st
-	sgs, ok := apps.ParseDigest("TRD|a:1.000:2.000:3|b:4.500:-1.250:7")
+	sched := vi.BuildSchedule([]geo.Point{{}}, testRadii)
+	prog := apps.TrackerProgram(sched, apps.TrackerConfig{})(0)
+	st := prog.Init(0, geo.Point{})
+	st = prog.OnRound(st, 3, pl(apps.Beacon("a", geo.Point{X: 1, Y: 2})))
+	st = prog.OnRound(st, 7, pl(apps.Beacon("b", geo.Point{X: 4.5, Y: -1.25})))
+	out := prog.Outgoing(st, 8)
+	if out == nil {
+		t.Fatal("tracker with sightings must broadcast when scheduled")
+	}
+	sgs, ok := apps.ParseDigest(out.Payload)
 	if !ok || len(sgs) != 2 {
 		t.Fatalf("ParseDigest failed: %v %v", sgs, ok)
 	}
-	if sgs[0].Name != "a" || sgs[0].X != 1 || sgs[0].Y != 2 || sgs[0].VRound != 3 {
-		t.Errorf("first sighting = %+v", sgs[0])
+	byName := map[string]apps.Sighting{}
+	for _, sg := range sgs {
+		byName[sg.Name] = sg
 	}
-	if _, ok := apps.ParseDigest("TRD|"); !ok {
-		t.Error("empty digest should parse")
+	if a := byName["a"]; a.X != 1 || a.Y != 2 || a.VRound != 3 {
+		t.Errorf("sighting a = %+v", a)
 	}
-	if _, ok := apps.ParseDigest("TRD|garbage"); ok {
-		t.Error("malformed digest should fail")
+	if b := byName["b"]; b.X != 4.5 || b.Y != -1.25 || b.VRound != 7 {
+		t.Errorf("sighting b = %+v", b)
 	}
-	if _, ok := apps.ParseDigest("XXX|a:1:2:3"); ok {
-		t.Error("wrong prefix should fail")
+	if _, ok := apps.ParseDigest(out.Payload[:len(out.Payload)-1]); ok {
+		t.Error("truncated digest should fail")
+	}
+	if _, ok := apps.ParseDigest(apps.Beacon("a", geo.Point{}).Payload); ok {
+		t.Error("wrong tag should fail")
+	}
+	if _, ok := apps.ParseDigest(nil); ok {
+		t.Error("empty payload should fail")
 	}
 }
 
@@ -266,7 +291,7 @@ func TestLockStateMachine(t *testing.T) {
 	// Exercise the program end to end through its Program surface.
 	prog := apps.LockProgram(vi.BuildSchedule([]geo.Point{{}}, testRadii))(0)
 	st := prog.Init(0, geo.Point{})
-	st = prog.OnRound(st, 1, vi.RoundInput{Msgs: []string{"LKR|x", "LKR|y"}})
+	st = prog.OnRound(st, 1, pl(apps.LockRequest("x"), apps.LockRequest("y")))
 	out := prog.Outgoing(st, 1)
 	if out == nil {
 		t.Fatal("scheduled lock VN must broadcast")
@@ -275,12 +300,12 @@ func TestLockStateMachine(t *testing.T) {
 	if !ok || holder != "x" {
 		t.Fatalf("holder = %q, want x", holder)
 	}
-	st = prog.OnRound(st, 2, vi.RoundInput{Msgs: []string{"LKF|x"}})
+	st = prog.OnRound(st, 2, pl(apps.LockRelease("x")))
 	holder, _ = apps.ParseGrant(prog.Outgoing(st, 2).Payload)
 	if holder != "y" {
 		t.Errorf("after release, holder = %q, want y", holder)
 	}
-	st = prog.OnRound(st, 3, vi.RoundInput{Msgs: []string{"LKF|y"}})
+	st = prog.OnRound(st, 3, pl(apps.LockRelease("y")))
 	holder, _ = apps.ParseGrant(prog.Outgoing(st, 3).Payload)
 	if holder != "" {
 		t.Errorf("after all releases, holder = %q, want free", holder)
@@ -291,21 +316,21 @@ func TestLockDuplicateAndCancel(t *testing.T) {
 	prog := apps.LockProgram(vi.BuildSchedule([]geo.Point{{}}, testRadii))(0)
 	st := prog.Init(0, geo.Point{})
 	// Duplicate requests do not double-queue.
-	st = prog.OnRound(st, 1, vi.RoundInput{Msgs: []string{"LKR|x", "LKR|x", "LKR|y", "LKR|y"}})
-	st = prog.OnRound(st, 2, vi.RoundInput{Msgs: []string{"LKF|x"}})
+	st = prog.OnRound(st, 1, pl(apps.LockRequest("x"), apps.LockRequest("x"), apps.LockRequest("y"), apps.LockRequest("y")))
+	st = prog.OnRound(st, 2, pl(apps.LockRelease("x")))
 	holder, _ := apps.ParseGrant(prog.Outgoing(st, 2).Payload)
 	if holder != "y" {
 		t.Fatalf("holder = %q, want y", holder)
 	}
-	st = prog.OnRound(st, 3, vi.RoundInput{Msgs: []string{"LKF|y"}})
+	st = prog.OnRound(st, 3, pl(apps.LockRelease("y")))
 	holder, _ = apps.ParseGrant(prog.Outgoing(st, 3).Payload)
 	if holder != "" {
 		t.Errorf("holder = %q, want free (no ghost queue entries)", holder)
 	}
 	// Cancelling a queued request removes it.
-	st = prog.OnRound(st, 4, vi.RoundInput{Msgs: []string{"LKR|a", "LKR|b"}})
-	st = prog.OnRound(st, 5, vi.RoundInput{Msgs: []string{"LKF|b"}}) // b cancels while queued
-	st = prog.OnRound(st, 6, vi.RoundInput{Msgs: []string{"LKF|a"}})
+	st = prog.OnRound(st, 4, pl(apps.LockRequest("a"), apps.LockRequest("b")))
+	st = prog.OnRound(st, 5, pl(apps.LockRelease("b"))) // b cancels while queued
+	st = prog.OnRound(st, 6, pl(apps.LockRelease("a")))
 	holder, _ = apps.ParseGrant(prog.Outgoing(st, 6).Payload)
 	if holder != "" {
 		t.Errorf("holder = %q after cancel+release, want free", holder)
@@ -317,7 +342,7 @@ func TestTrackerCollisionRoundsDoNotCorruptState(t *testing.T) {
 	// the tracker must simply retain its state.
 	prog := apps.TrackerProgram(vi.BuildSchedule([]geo.Point{{}}, testRadii), apps.TrackerConfig{})(0)
 	st := prog.Init(0, geo.Point{})
-	st = prog.OnRound(st, 1, vi.RoundInput{Msgs: []string{fmt.Sprintf("TRB|r|%0.3f|%0.3f", 1.0, 2.0)}})
+	st = prog.OnRound(st, 1, pl(apps.Beacon("r", geo.Point{X: 1, Y: 2})))
 	st2 := prog.OnRound(st, 2, vi.RoundInput{Collision: true})
 	out := prog.Outgoing(st2, 3)
 	if out == nil {

@@ -1,10 +1,9 @@
 package apps
 
 import (
-	"strings"
-
 	"vinfra/internal/geo"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // The lock service: a virtual node arbitrates a mutual-exclusion lock among
@@ -20,30 +19,55 @@ type LockState struct {
 	Queue  []string
 }
 
-// Lock wire formats.
-const (
-	lockReqPrefix   = "LKR|" // LKR|client  (acquire request)
-	lockRelPrefix   = "LKF|" // LKF|client  (release)
-	lockGrantPrefix = "LKG|" // LKG|client  (grant broadcast)
-)
+func encodeLockState(dst []byte, s LockState) []byte {
+	dst = wire.AppendString(dst, s.Holder)
+	dst = wire.AppendUvarint(dst, uint64(len(s.Queue)))
+	for _, q := range s.Queue {
+		dst = wire.AppendString(dst, q)
+	}
+	return dst
+}
+
+func decodeLockState(d *wire.Decoder) (LockState, error) {
+	var s LockState
+	s.Holder = d.String()
+	n := d.Uvarint()
+	if d.Err() != nil || n > uint64(d.Rem()) {
+		return LockState{}, wire.ErrMalformed
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Queue = append(s.Queue, d.String())
+	}
+	return s, d.Err()
+}
+
+// nameMsg builds a one-byte-tag payload carrying a client name.
+func nameMsg(tag byte, name string) *vi.Message {
+	return &vi.Message{Payload: append([]byte{tag}, name...)}
+}
+
+// parseName extracts the name from a one-byte-tag payload.
+func parseName(payload []byte, tag byte) (string, bool) {
+	if len(payload) == 0 || payload[0] != tag {
+		return "", false
+	}
+	return string(payload[1:]), true
+}
 
 // LockRequest builds an acquire message for the named client.
 func LockRequest(client string) *vi.Message {
-	return &vi.Message{Payload: lockReqPrefix + client}
+	return nameMsg(tagLockRequest, client)
 }
 
 // LockRelease builds a release message for the named client.
 func LockRelease(client string) *vi.Message {
-	return &vi.Message{Payload: lockRelPrefix + client}
+	return nameMsg(tagLockRelease, client)
 }
 
 // ParseGrant parses a grant broadcast; it returns the holder name ("" when
 // the lock is free).
-func ParseGrant(payload string) (holder string, ok bool) {
-	if !strings.HasPrefix(payload, lockGrantPrefix) {
-		return "", false
-	}
-	return payload[len(lockGrantPrefix):], true
+func ParseGrant(payload []byte) (holder string, ok bool) {
+	return parseName(payload, tagLockGrant)
 }
 
 func (s *LockState) enqueue(client string) {
@@ -91,11 +115,10 @@ func LockProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 			},
 			Step: func(s LockState, vround int, in vi.RoundInput) LockState {
 				for _, m := range in.Msgs {
-					switch {
-					case strings.HasPrefix(m, lockReqPrefix):
-						s.enqueue(m[len(lockReqPrefix):])
-					case strings.HasPrefix(m, lockRelPrefix):
-						s.release(m[len(lockRelPrefix):])
+					if name, ok := parseName(m, tagLockRequest); ok {
+						s.enqueue(name)
+					} else if name, ok := parseName(m, tagLockRelease); ok {
+						s.release(name)
 					}
 				}
 				return s
@@ -104,8 +127,10 @@ func LockProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 				if !sched.ScheduledIn(v, vround-1) {
 					return nil
 				}
-				return &vi.Message{Payload: lockGrantPrefix + s.Holder}
+				return nameMsg(tagLockGrant, s.Holder)
 			},
+			EncodeState: encodeLockState,
+			DecodeState: decodeLockState,
 		}
 	}
 }

@@ -8,52 +8,57 @@
 // machine with an agreed input history, operations that reach it are
 // trivially linearized in history order; the emulation layer supplies the
 // fault tolerance.
+//
+// States and payloads are canonical wire encodings (internal/wire): equal
+// states encode to equal bytes by construction, which is the determinism
+// property replica state comparison depends on — the old gob-based codec
+// only guaranteed it under conventions (no maps, fixed field order).
 package apps
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
 	"vinfra/internal/geo"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // RegisterState is the state of the atomic register virtual node: the
 // current value and a version counter incremented by every applied write.
-// (No maps: states must gob-encode deterministically.)
 type RegisterState struct {
 	Value   string
 	Version int
 }
 
-// Register wire formats.
-const (
-	registerWritePrefix = "REGW|"
-	registerReplyPrefix = "REGV|"
-)
+func encodeRegisterState(dst []byte, s RegisterState) []byte {
+	dst = wire.AppendString(dst, s.Value)
+	return wire.AppendUvarint(dst, uint64(s.Version))
+}
+
+func decodeRegisterState(d *wire.Decoder) (RegisterState, error) {
+	var s RegisterState
+	s.Value = d.String()
+	s.Version = int(d.Uvarint())
+	return s, d.Err()
+}
 
 // RegisterWrite builds the client message writing value to the register.
 func RegisterWrite(value string) *vi.Message {
-	return &vi.Message{Payload: registerWritePrefix + value}
+	p := append([]byte{tagRegisterWrite}, value...)
+	return &vi.Message{Payload: p}
 }
 
-// ParseRegisterReply parses a register broadcast ("REGV|version|value")
-// into its version and value.
-func ParseRegisterReply(payload string) (version int, value string, ok bool) {
-	if !strings.HasPrefix(payload, registerReplyPrefix) {
+// ParseRegisterReply parses a register broadcast into its version and
+// value.
+func ParseRegisterReply(payload []byte) (version int, value string, ok bool) {
+	d, ok := payloadBody(payload, tagRegisterReply)
+	if !ok {
 		return 0, "", false
 	}
-	rest := payload[len(registerReplyPrefix):]
-	sep := strings.IndexByte(rest, '|')
-	if sep < 0 {
+	version = int(d.Uvarint())
+	value = d.String()
+	if d.Finish() != nil {
 		return 0, "", false
 	}
-	v, err := strconv.Atoi(rest[:sep])
-	if err != nil {
-		return 0, "", false
-	}
-	return v, rest[sep+1:], true
+	return version, value, true
 }
 
 // RegisterProgram returns the atomic-register virtual node program. The
@@ -69,8 +74,8 @@ func RegisterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 			},
 			Step: func(s RegisterState, vround int, in vi.RoundInput) RegisterState {
 				for _, m := range in.Msgs {
-					if strings.HasPrefix(m, registerWritePrefix) {
-						s.Value = m[len(registerWritePrefix):]
+					if len(m) > 0 && m[0] == tagRegisterWrite {
+						s.Value = string(m[1:])
 						s.Version++
 					}
 				}
@@ -80,10 +85,13 @@ func RegisterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 				if !sched.ScheduledIn(v, vround-1) {
 					return nil
 				}
-				return &vi.Message{
-					Payload: fmt.Sprintf("%s%d|%s", registerReplyPrefix, s.Version, s.Value),
-				}
+				p := []byte{tagRegisterReply}
+				p = wire.AppendUvarint(p, uint64(s.Version))
+				p = wire.AppendString(p, s.Value)
+				return &vi.Message{Payload: p}
 			},
+			EncodeState: encodeRegisterState,
+			DecodeState: decodeRegisterState,
 		}
 	}
 }

@@ -1,14 +1,9 @@
 package apps
 
 import (
-	"bytes"
-	"encoding/gob"
-	"fmt"
-	"strconv"
-	"strings"
-
 	"vinfra/internal/geo"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // Geographic routing over the virtual infrastructure (paper references
@@ -33,6 +28,26 @@ type Packet struct {
 	Copies int
 }
 
+func appendPacket(dst []byte, p Packet) []byte {
+	dst = wire.AppendString(dst, p.ID)
+	dst = wire.AppendFloat64(dst, p.Dst.X)
+	dst = wire.AppendFloat64(dst, p.Dst.Y)
+	dst = wire.AppendVarint(dst, int64(p.TTL))
+	dst = wire.AppendString(dst, p.Body)
+	return wire.AppendVarint(dst, int64(p.Copies))
+}
+
+func decodePacket(d *wire.Decoder) (Packet, error) {
+	var p Packet
+	p.ID = d.String()
+	p.Dst.X = d.Float64()
+	p.Dst.Y = d.Float64()
+	p.TTL = int(d.Varint())
+	p.Body = d.String()
+	p.Copies = int(d.Varint())
+	return p, d.Err()
+}
+
 // RelayCopies is the per-hop relay redundancy.
 const RelayCopies = 2
 
@@ -47,6 +62,60 @@ type RouterState struct {
 	// Seen holds recently seen packet IDs for duplicate suppression
 	// (bounded FIFO).
 	Seen []string
+}
+
+func encodeRouterState(dst []byte, s RouterState) []byte {
+	dst = wire.AppendFloat64(dst, s.Loc.X)
+	dst = wire.AppendFloat64(dst, s.Loc.Y)
+	dst = wire.AppendUvarint(dst, uint64(len(s.Pending)))
+	for _, p := range s.Pending {
+		dst = appendPacket(dst, p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(s.Delivered)))
+	for _, p := range s.Delivered {
+		dst = appendPacket(dst, p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(s.Seen)))
+	for _, id := range s.Seen {
+		dst = wire.AppendString(dst, id)
+	}
+	return dst
+}
+
+func decodeRouterState(d *wire.Decoder) (RouterState, error) {
+	var s RouterState
+	s.Loc.X = d.Float64()
+	s.Loc.Y = d.Float64()
+	decodePackets := func() ([]Packet, error) {
+		n := d.Uvarint()
+		if d.Err() != nil || n > uint64(d.Rem()) {
+			return nil, wire.ErrMalformed
+		}
+		var out []Packet
+		for i := uint64(0); i < n; i++ {
+			p, err := decodePacket(d)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	}
+	var err error
+	if s.Pending, err = decodePackets(); err != nil {
+		return RouterState{}, err
+	}
+	if s.Delivered, err = decodePackets(); err != nil {
+		return RouterState{}, err
+	}
+	n := d.Uvarint()
+	if d.Err() != nil || n > uint64(d.Rem()) {
+		return RouterState{}, wire.ErrMalformed
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Seen = append(s.Seen, d.String())
+	}
+	return s, d.Err()
 }
 
 const routerSeenCap = 32
@@ -67,71 +136,91 @@ func (s *RouterState) markSeen(id string) {
 	}
 }
 
-// Router wire formats.
-const (
-	routeSendPrefix    = "RTS|" // RTS|dstX|dstY|id|body          (client -> local VN)
-	routeRelayPrefix   = "RTP|" // RTP|srcX|srcY|dstX|dstY|id|ttl|body (VN -> VN)
-	routeDeliverPrefix = "RTD|" // RTD|id|body                    (VN -> local clients)
-)
-
 // RouteSend builds the client message injecting a packet addressed to dst.
 func RouteSend(dst geo.Point, id, body string) *vi.Message {
-	return &vi.Message{Payload: fmt.Sprintf("%s%.3f|%.3f|%s|%s", routeSendPrefix, dst.X, dst.Y, id, body)}
+	b := []byte{tagRouteSend}
+	b = wire.AppendFloat64(b, dst.X)
+	b = wire.AppendFloat64(b, dst.Y)
+	b = wire.AppendString(b, id)
+	b = wire.AppendString(b, body)
+	return &vi.Message{Payload: b}
+}
+
+// DeliverMsg builds a delivery broadcast for (id, body) — the payload the
+// destination virtual node announces to its local clients. Exposed for
+// tests and tools; virtual nodes construct it internally.
+func DeliverMsg(id, body string) *vi.Message {
+	b := []byte{tagRouteDeliver}
+	b = wire.AppendString(b, id)
+	b = wire.AppendString(b, body)
+	return &vi.Message{Payload: b}
+}
+
+// RelayMsg builds a VN-to-VN relay broadcast for packet p sent from a
+// virtual node at from. Exposed for tests and tools.
+func RelayMsg(from geo.Point, p Packet) *vi.Message {
+	return &vi.Message{Payload: encodeRelay(from, p)}
 }
 
 // ParseDelivery parses a delivery broadcast into (id, body).
-func ParseDelivery(payload string) (id, body string, ok bool) {
-	if !strings.HasPrefix(payload, routeDeliverPrefix) {
+func ParseDelivery(payload []byte) (id, body string, ok bool) {
+	d, ok := payloadBody(payload, tagRouteDeliver)
+	if !ok {
 		return "", "", false
 	}
-	rest := payload[len(routeDeliverPrefix):]
-	sep := strings.IndexByte(rest, '|')
-	if sep < 0 {
+	id = d.String()
+	body = d.String()
+	if d.Finish() != nil || id == "" {
 		return "", "", false
 	}
-	return rest[:sep], rest[sep+1:], true
+	return id, body, true
 }
 
-func parseSend(payload string) (Packet, bool) {
-	if !strings.HasPrefix(payload, routeSendPrefix) {
+func parseSend(payload []byte) (Packet, bool) {
+	d, ok := payloadBody(payload, tagRouteSend)
+	if !ok {
 		return Packet{}, false
 	}
-	parts := strings.SplitN(payload[len(routeSendPrefix):], "|", 4)
-	if len(parts) != 4 {
+	var p Packet
+	p.Dst.X = d.Float64()
+	p.Dst.Y = d.Float64()
+	p.ID = d.String()
+	p.Body = d.String()
+	if d.Finish() != nil || p.ID == "" {
 		return Packet{}, false
 	}
-	x, errX := strconv.ParseFloat(parts[0], 64)
-	y, errY := strconv.ParseFloat(parts[1], 64)
-	if errX != nil || errY != nil || parts[2] == "" {
-		return Packet{}, false
-	}
-	return Packet{ID: parts[2], Dst: geo.Point{X: x, Y: y}, TTL: 16, Body: parts[3]}, true
+	p.TTL = 16
+	return p, true
 }
 
-func encodeRelay(from geo.Point, p Packet) string {
-	return fmt.Sprintf("%s%.3f|%.3f|%.3f|%.3f|%s|%d|%s",
-		routeRelayPrefix, from.X, from.Y, p.Dst.X, p.Dst.Y, p.ID, p.TTL, p.Body)
+func encodeRelay(from geo.Point, p Packet) []byte {
+	b := []byte{tagRouteRelay}
+	b = wire.AppendFloat64(b, from.X)
+	b = wire.AppendFloat64(b, from.Y)
+	b = wire.AppendFloat64(b, p.Dst.X)
+	b = wire.AppendFloat64(b, p.Dst.Y)
+	b = wire.AppendString(b, p.ID)
+	b = wire.AppendVarint(b, int64(p.TTL))
+	b = wire.AppendString(b, p.Body)
+	return b
 }
 
-func parseRelay(payload string) (from geo.Point, p Packet, ok bool) {
-	if !strings.HasPrefix(payload, routeRelayPrefix) {
+func parseRelay(payload []byte) (from geo.Point, p Packet, ok bool) {
+	d, ok := payloadBody(payload, tagRouteRelay)
+	if !ok {
 		return geo.Point{}, Packet{}, false
 	}
-	parts := strings.SplitN(payload[len(routeRelayPrefix):], "|", 7)
-	if len(parts) != 7 {
+	from.X = d.Float64()
+	from.Y = d.Float64()
+	p.Dst.X = d.Float64()
+	p.Dst.Y = d.Float64()
+	p.ID = d.String()
+	p.TTL = int(d.Varint())
+	p.Body = d.String()
+	if d.Finish() != nil || p.ID == "" {
 		return geo.Point{}, Packet{}, false
 	}
-	fx, e1 := strconv.ParseFloat(parts[0], 64)
-	fy, e2 := strconv.ParseFloat(parts[1], 64)
-	dx, e3 := strconv.ParseFloat(parts[2], 64)
-	dy, e4 := strconv.ParseFloat(parts[3], 64)
-	ttl, e5 := strconv.Atoi(parts[5])
-	if e1 != nil || e2 != nil || e3 != nil || e4 != nil || e5 != nil || parts[4] == "" {
-		return geo.Point{}, Packet{}, false
-	}
-	return geo.Point{X: fx, Y: fy},
-		Packet{ID: parts[4], Dst: geo.Point{X: dx, Y: dy}, TTL: ttl, Body: parts[6]},
-		true
+	return from, p, true
 }
 
 // RouterProgram returns the routing virtual node program. locs must be the
@@ -194,16 +283,21 @@ func RouterProgram(sched vi.Schedule, locs []geo.Point) func(vi.VNodeID) vi.Prog
 				}
 				// Deliveries take priority over relays; one broadcast per
 				// scheduled round. (Out must not mutate state — the queue
-				// entry is retired by retireHead below on the next Step.)
+				// entry is retired by routerRetire below on the next Step.)
 				if len(s.Delivered) > 0 {
 					p := s.Delivered[0]
-					return &vi.Message{Payload: fmt.Sprintf("%s%s|%s", routeDeliverPrefix, p.ID, p.Body)}
+					b := []byte{tagRouteDeliver}
+					b = wire.AppendString(b, p.ID)
+					b = wire.AppendString(b, p.Body)
+					return &vi.Message{Payload: b}
 				}
 				if len(s.Pending) > 0 {
 					return &vi.Message{Payload: encodeRelay(s.Loc, s.Pending[0])}
 				}
 				return nil
 			},
+			EncodeState: encodeRouterState,
+			DecodeState: decodeRouterState,
 		}
 	}
 }
@@ -211,8 +305,8 @@ func RouterProgram(sched vi.Schedule, locs []geo.Point) func(vi.VNodeID) vi.Prog
 // The Out function cannot mutate state (it is a pure function of the
 // state). Queue retirement therefore happens in Step: when the round input
 // records that the virtual node broadcast (VNBroadcast), the head of the
-// corresponding queue is retired. This is wired through retireHead inside
-// Step via the RoundInput — implemented below by wrapping the Codec.
+// corresponding queue is retired — implemented below by wrapping the
+// codec's Step.
 
 // routerRetire accounts for the head-of-queue broadcast that the agreed
 // round input confirms: the head's remaining copy count is decremented,
@@ -242,53 +336,18 @@ func routerRetire(s RouterState, in vi.RoundInput) RouterState {
 }
 
 // RoutedProgram composes RouterProgram with queue retirement; use this as
-// the deployment program.
+// the deployment program. Retirement runs before the round's messages are
+// processed (the broadcast preceded this round's agreement), inside the
+// same typed codec — no extra state decode/encode round trip.
 func RoutedProgram(sched vi.Schedule, locs []geo.Point) func(vi.VNodeID) vi.Program {
 	inner := RouterProgram(sched, locs)
 	return func(v vi.VNodeID) vi.Program {
-		return &retiringProgram{inner: inner(v)}
-	}
-}
-
-// retiringProgram wraps the router codec so that queue heads are retired
-// when the agreed round input confirms the broadcast happened.
-type retiringProgram struct {
-	inner vi.Program
-}
-
-// Init implements vi.Program.
-func (p *retiringProgram) Init(id vi.VNodeID, loc geo.Point) string {
-	return p.inner.Init(id, loc)
-}
-
-// OnRound implements vi.Program: retire first (the broadcast preceded this
-// round's agreement), then process the round's messages.
-func (p *retiringProgram) OnRound(state string, vround int, in vi.RoundInput) string {
-	var s RouterState
-	decodeRouterState(state, &s)
-	s = routerRetire(s, in)
-	return p.inner.OnRound(encodeRouterState(s), vround, in)
-}
-
-// Outgoing implements vi.Program.
-func (p *retiringProgram) Outgoing(state string, vround int) *vi.Message {
-	return p.inner.Outgoing(state, vround)
-}
-
-func encodeRouterState(s RouterState) string {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
-		panic(fmt.Sprintf("apps: router state encode: %v", err))
-	}
-	return buf.String()
-}
-
-func decodeRouterState(raw string, out *RouterState) {
-	if raw == "" {
-		return
-	}
-	if err := gob.NewDecoder(bytes.NewReader([]byte(raw))).Decode(out); err != nil {
-		panic(fmt.Sprintf("apps: router state decode: %v", err))
+		c := inner(v).(vi.Codec[RouterState])
+		step := c.Step
+		c.Step = func(s RouterState, vround int, in vi.RoundInput) RouterState {
+			return step(routerRetire(s, in), vround, in)
+		}
+		return c
 	}
 }
 

@@ -14,14 +14,21 @@ func TestRouteParseRoundTrips(t *testing.T) {
 		t.Fatal("nil send message")
 	}
 	// Delivery parse.
-	if id, body, ok := apps.ParseDelivery("RTD|pkt1|hello|world"); !ok || id != "pkt1" || body != "hello|world" {
+	d := apps.DeliverMsg("pkt1", "hello|world")
+	if id, body, ok := apps.ParseDelivery(d.Payload); !ok || id != "pkt1" || body != "hello|world" {
 		t.Errorf("ParseDelivery = %q %q %v", id, body, ok)
 	}
-	if _, _, ok := apps.ParseDelivery("RTD|"); ok {
-		t.Error("malformed delivery accepted")
+	if _, _, ok := apps.ParseDelivery(d.Payload[:len(d.Payload)-1]); ok {
+		t.Error("truncated delivery accepted")
 	}
-	if _, _, ok := apps.ParseDelivery("XXX|a|b"); ok {
-		t.Error("wrong prefix accepted")
+	if _, _, ok := apps.ParseDelivery(apps.DeliverMsg("", "b").Payload); ok {
+		t.Error("delivery with empty id accepted")
+	}
+	if _, _, ok := apps.ParseDelivery(m.Payload); ok {
+		t.Error("wrong tag accepted")
+	}
+	if _, _, ok := apps.ParseDelivery(nil); ok {
+		t.Error("empty payload accepted")
 	}
 }
 
@@ -112,8 +119,8 @@ func TestRouterProgramGreedyRule(t *testing.T) {
 
 	// A relay originating at x=5 (closer to dst x=10 than vn0 is): vn0
 	// must ignore it.
-	relay := "RTP|5.000|0.000|10.000|0.000|pk|8|body"
-	st = prog.OnRound(st, 1, vi.RoundInput{Msgs: []string{relay}})
+	relay := apps.RelayMsg(geo.Point{X: 5}, apps.Packet{ID: "pk", Dst: geo.Point{X: 10}, TTL: 8, Body: "body"})
+	st = prog.OnRound(st, 1, pl(relay))
 	if out := prog.Outgoing(st, 1); out != nil {
 		t.Errorf("vn0 adopted a backward packet: %+v", out)
 	}
@@ -151,8 +158,8 @@ func TestAllocAssignsUniqueAddresses(t *testing.T) {
 func TestAllocIdempotentRequests(t *testing.T) {
 	prog := apps.AllocProgram(vi.BuildSchedule([]geo.Point{{}}, testRadii))(0)
 	st := prog.Init(0, geo.Point{})
-	st = prog.OnRound(st, 1, vi.RoundInput{Msgs: []string{"ADR|x"}})
-	st = prog.OnRound(st, 2, vi.RoundInput{Msgs: []string{"ADR|x", "ADR|x"}})
+	st = prog.OnRound(st, 1, pl(apps.AllocRequest("x")))
+	st = prog.OnRound(st, 2, pl(apps.AllocRequest("x"), apps.AllocRequest("x")))
 	out := prog.Outgoing(st, 1)
 	if out == nil {
 		t.Fatal("allocator with leases must broadcast")
@@ -163,8 +170,8 @@ func TestAllocIdempotentRequests(t *testing.T) {
 	}
 	// Release then re-request: gets a fresh address (no reuse in this
 	// simple policy).
-	st = prog.OnRound(st, 3, vi.RoundInput{Msgs: []string{"ADF|x"}})
-	st = prog.OnRound(st, 4, vi.RoundInput{Msgs: []string{"ADR|x"}})
+	st = prog.OnRound(st, 3, pl(apps.AllocRelease("x")))
+	st = prog.OnRound(st, 4, pl(apps.AllocRequest("x")))
 	_, addr2, _ := apps.ParseAssignment(prog.Outgoing(st, 4).Payload)
 	if addr2 != 1 {
 		t.Errorf("re-leased address = %d, want 1", addr2)
@@ -175,8 +182,8 @@ func TestAllocBlocksDisjointAcrossVNodes(t *testing.T) {
 	sched := vi.BuildSchedule(lineLocs(2), testRadii)
 	prog0 := apps.AllocProgram(sched)(0)
 	prog1 := apps.AllocProgram(sched)(1)
-	s0 := prog0.OnRound(prog0.Init(0, geo.Point{}), 1, vi.RoundInput{Msgs: []string{"ADR|a"}})
-	s1 := prog1.OnRound(prog1.Init(1, geo.Point{X: 5}), 1, vi.RoundInput{Msgs: []string{"ADR|a"}})
+	s0 := prog0.OnRound(prog0.Init(0, geo.Point{}), 1, pl(apps.AllocRequest("a")))
+	s1 := prog1.OnRound(prog1.Init(1, geo.Point{X: 5}), 1, pl(apps.AllocRequest("a")))
 	// Each node broadcasts only in its scheduled virtual rounds: vn0 in
 	// odd vrounds (slot 0), vn1 in even vrounds (slot 1).
 	_, a0, _ := apps.ParseAssignment(prog0.Outgoing(s0, 3).Payload)
@@ -187,16 +194,25 @@ func TestAllocBlocksDisjointAcrossVNodes(t *testing.T) {
 }
 
 func TestParseAssignmentErrors(t *testing.T) {
-	if _, _, ok := apps.ParseAssignment("ADA|x"); ok {
-		t.Error("missing addr accepted")
+	sched := vi.BuildSchedule([]geo.Point{{}}, testRadii)
+	prog := apps.AllocProgram(sched)(0)
+	st := prog.OnRound(prog.Init(0, geo.Point{}), 1, pl(apps.AllocRequest("a|b")))
+	out := prog.Outgoing(st, 2)
+	if out == nil {
+		t.Fatal("allocator with leases must broadcast")
 	}
-	if _, _, ok := apps.ParseAssignment("ADA|x|zz"); ok {
-		t.Error("non-numeric addr accepted")
+	// Names containing old-format separators parse exactly (the encoding
+	// is length-prefixed, not delimiter-based).
+	if name, addr, ok := apps.ParseAssignment(out.Payload); !ok || name != "a|b" || addr != 0 {
+		t.Errorf("ParseAssignment = %q %d %v", name, addr, ok)
 	}
-	if _, _, ok := apps.ParseAssignment("ZZZ|x|1"); ok {
-		t.Error("wrong prefix accepted")
+	if _, _, ok := apps.ParseAssignment(out.Payload[:len(out.Payload)-1]); ok {
+		t.Error("truncated assignment accepted")
 	}
-	if name, addr, ok := apps.ParseAssignment("ADA|a|b|7"); !ok || name != "a|b" || addr != 7 {
-		t.Error("names containing separators should parse via LastIndex")
+	if _, _, ok := apps.ParseAssignment(apps.AllocRequest("x").Payload); ok {
+		t.Error("wrong tag accepted")
+	}
+	if _, _, ok := apps.ParseAssignment(nil); ok {
+		t.Error("empty payload accepted")
 	}
 }

@@ -1,13 +1,11 @@
 package apps
 
 import (
-	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"vinfra/internal/geo"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // The tracking service (paper reference [36]: "a virtual node-based
@@ -25,10 +23,50 @@ type Sighting struct {
 	VRound int // virtual round of the observation
 }
 
+func appendSighting(dst []byte, sg Sighting) []byte {
+	dst = wire.AppendString(dst, sg.Name)
+	dst = wire.AppendFloat64(dst, sg.X)
+	dst = wire.AppendFloat64(dst, sg.Y)
+	return wire.AppendUvarint(dst, uint64(sg.VRound))
+}
+
+func decodeSighting(d *wire.Decoder) (Sighting, error) {
+	var sg Sighting
+	sg.Name = d.String()
+	sg.X = d.Float64()
+	sg.Y = d.Float64()
+	sg.VRound = int(d.Uvarint())
+	return sg, d.Err()
+}
+
 // TrackerState is the tracker virtual node state: sightings sorted by name
-// (sorted slice, not a map, for deterministic gob encoding).
+// (the canonical order of the state encoding).
 type TrackerState struct {
 	Sightings []Sighting
+}
+
+func encodeTrackerState(dst []byte, s TrackerState) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(s.Sightings)))
+	for _, sg := range s.Sightings {
+		dst = appendSighting(dst, sg)
+	}
+	return dst
+}
+
+func decodeTrackerState(d *wire.Decoder) (TrackerState, error) {
+	var s TrackerState
+	n := d.Uvarint()
+	if d.Err() != nil || n > uint64(d.Rem()) {
+		return TrackerState{}, wire.ErrMalformed
+	}
+	for i := uint64(0); i < n; i++ {
+		sg, err := decodeSighting(d)
+		if err != nil {
+			return TrackerState{}, err
+		}
+		s.Sightings = append(s.Sightings, sg)
+	}
+	return s, nil
 }
 
 func (s *TrackerState) upsert(sg Sighting) {
@@ -57,36 +95,32 @@ func (s *TrackerState) Lookup(name string) (Sighting, bool) {
 	return Sighting{}, false
 }
 
-// Tracker wire formats.
-const (
-	beaconPrefix = "TRB|" // TRB|name|x|y       (client beacon)
-	digestPrefix = "TRD|" // TRD|name:x:y:r|... (virtual node digest)
-)
-
 // Beacon builds a heartbeat message for a target at position p.
 func Beacon(name string, p geo.Point) *vi.Message {
-	return &vi.Message{Payload: fmt.Sprintf("%s%s|%.3f|%.3f", beaconPrefix, name, p.X, p.Y)}
+	b := []byte{tagBeacon}
+	b = wire.AppendString(b, name)
+	b = wire.AppendFloat64(b, p.X)
+	b = wire.AppendFloat64(b, p.Y)
+	return &vi.Message{Payload: b}
 }
 
-func parseBeacon(payload string, vround int) (Sighting, bool) {
-	if !strings.HasPrefix(payload, beaconPrefix) {
+func parseBeacon(payload []byte, vround int) (Sighting, bool) {
+	d, ok := payloadBody(payload, tagBeacon)
+	if !ok {
 		return Sighting{}, false
 	}
-	parts := strings.Split(payload[len(beaconPrefix):], "|")
-	if len(parts) != 3 {
+	name := d.String()
+	x := d.Float64()
+	y := d.Float64()
+	if d.Finish() != nil || name == "" {
 		return Sighting{}, false
 	}
-	x, errX := strconv.ParseFloat(parts[1], 64)
-	y, errY := strconv.ParseFloat(parts[2], 64)
-	if errX != nil || errY != nil || parts[0] == "" {
-		return Sighting{}, false
-	}
-	return Sighting{Name: parts[0], X: x, Y: y, VRound: vround}, true
+	return Sighting{Name: name, X: x, Y: y, VRound: vround}, true
 }
 
 // encodeDigest renders the most recent sightings (up to max) as a digest
 // broadcast.
-func encodeDigest(s TrackerState, max int) string {
+func encodeDigest(s TrackerState, max int) []byte {
 	recent := append([]Sighting(nil), s.Sightings...)
 	sort.Slice(recent, func(i, j int) bool {
 		if recent[i].VRound != recent[j].VRound {
@@ -97,39 +131,34 @@ func encodeDigest(s TrackerState, max int) string {
 	if len(recent) > max {
 		recent = recent[:max]
 	}
-	var sb strings.Builder
-	sb.WriteString(digestPrefix)
-	for i, sg := range recent {
-		if i > 0 {
-			sb.WriteByte('|')
-		}
-		fmt.Fprintf(&sb, "%s:%.3f:%.3f:%d", sg.Name, sg.X, sg.Y, sg.VRound)
+	b := []byte{tagDigest}
+	b = wire.AppendUvarint(b, uint64(len(recent)))
+	for _, sg := range recent {
+		b = appendSighting(b, sg)
 	}
-	return sb.String()
+	return b
 }
 
 // ParseDigest decodes a tracker digest broadcast into sightings.
-func ParseDigest(payload string) ([]Sighting, bool) {
-	if !strings.HasPrefix(payload, digestPrefix) {
+func ParseDigest(payload []byte) ([]Sighting, bool) {
+	d, ok := payloadBody(payload, tagDigest)
+	if !ok {
 		return nil, false
 	}
-	body := payload[len(digestPrefix):]
-	if body == "" {
-		return nil, true
+	n := d.Uvarint()
+	if d.Err() != nil || n > uint64(d.Rem()) {
+		return nil, false
 	}
 	var out []Sighting
-	for _, entry := range strings.Split(body, "|") {
-		parts := strings.Split(entry, ":")
-		if len(parts) != 4 {
+	for i := uint64(0); i < n; i++ {
+		sg, err := decodeSighting(&d)
+		if err != nil {
 			return nil, false
 		}
-		x, errX := strconv.ParseFloat(parts[1], 64)
-		y, errY := strconv.ParseFloat(parts[2], 64)
-		r, errR := strconv.Atoi(parts[3])
-		if errX != nil || errY != nil || errR != nil {
-			return nil, false
-		}
-		out = append(out, Sighting{Name: parts[0], X: x, Y: y, VRound: r})
+		out = append(out, sg)
+	}
+	if d.Finish() != nil {
+		return nil, false
 	}
 	return out, true
 }
@@ -177,6 +206,8 @@ func TrackerProgram(sched vi.Schedule, cfg TrackerConfig) func(vi.VNodeID) vi.Pr
 				}
 				return &vi.Message{Payload: encodeDigest(s, cfg.DigestSize)}
 			},
+			EncodeState: encodeTrackerState,
+			DecodeState: decodeTrackerState,
 		}
 	}
 }

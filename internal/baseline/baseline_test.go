@@ -37,7 +37,7 @@ func newNaiveCluster(t *testing.T, n int) (*sim.Engine, *cha.Recorder, []*baseli
 		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
 			rep := baseline.NewNaiveReplica(baseline.NaiveConfig{
 				Propose: rec.WrapPropose(func(k cha.Instance) cha.Value {
-					return cha.Value(fmt.Sprintf("n%02d-%06d", i, k))
+					return cha.V(fmt.Sprintf("n%02d-%06d", i, k))
 				}),
 				CM:       factory(env),
 				OnOutput: rec.OutputFunc(env.ID()),
@@ -88,8 +88,8 @@ func TestNaiveMessageSizeGrowsWithExecution(t *testing.T) {
 }
 
 func TestNaiveBallotWireSize(t *testing.T) {
-	h := cha.NewHistory(3, map[cha.Instance]cha.Value{1: "aa", 3: "b"})
-	m := baseline.NaiveBallotMsg{V: "xyz", H: h}
+	h := cha.NewHistory(3, map[cha.Instance]cha.Value{1: cha.V("aa"), 3: cha.V("b")})
+	m := baseline.NaiveBallotMsg{V: cha.V("xyz"), H: h}
 	// 3 (value) + positions: 1 present (1+8+2), 2 bottom (1), 3 present (1+8+1)
 	want := 3 + (1 + 8 + 2) + 1 + (1 + 8 + 1)
 	if got := m.WireSize(); got != want {

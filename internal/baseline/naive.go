@@ -37,11 +37,11 @@ type NaiveBallotMsg struct {
 // history. This is the Θ(execution length) cost the paper's constant-size
 // ballots avoid.
 func (m NaiveBallotMsg) WireSize() int {
-	size := len(m.V)
+	size := m.V.Len()
 	for i := cha.Instance(1); i <= m.H.Top(); i++ {
 		size++ // present/⊥ marker
 		if v, ok := m.H.At(i); ok {
-			size += 8 + len(v)
+			size += 8 + v.Len()
 		}
 	}
 	return size
@@ -132,7 +132,7 @@ func (r *NaiveReplica) Receive(round sim.Round, rx sim.Reception) {
 		var best *NaiveBallotMsg
 		for _, m := range rx.Msgs {
 			if bm, ok := m.(NaiveBallotMsg); ok {
-				if best == nil || bm.V < best.V {
+				if best == nil || bm.V.Compare(best.V) < 0 {
 					b := bm
 					best = &b
 				}

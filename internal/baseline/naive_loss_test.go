@@ -29,7 +29,7 @@ func newNaiveLossCluster(t *testing.T, n int, adv radio.Adversary, seed int64) (
 		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
 			return baseline.NewNaiveReplica(baseline.NaiveConfig{
 				Propose: rec.WrapPropose(func(k cha.Instance) cha.Value {
-					return cha.Value(fmt.Sprintf("n%02d-%06d", i, k))
+					return cha.V(fmt.Sprintf("n%02d-%06d", i, k))
 				}),
 				CM:       factory(env),
 				OnOutput: rec.OutputFunc(env.ID()),
@@ -74,7 +74,7 @@ func TestNaiveLivenessAfterStability(t *testing.T) {
 		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
 			return baseline.NewNaiveReplica(baseline.NaiveConfig{
 				Propose: rec.WrapPropose(func(k cha.Instance) cha.Value {
-					return cha.Value(fmt.Sprintf("n%02d-%06d", i, k))
+					return cha.V(fmt.Sprintf("n%02d-%06d", i, k))
 				}),
 				CM:       factory(env),
 				OnOutput: rec.OutputFunc(env.ID()),

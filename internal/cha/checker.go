@@ -19,7 +19,9 @@ import (
 type Recorder struct {
 	mu sync.Mutex
 
-	proposals map[Instance]map[Value]bool
+	// proposals is keyed by the proposal's byte content (Value carries a
+	// slice and cannot be a map key itself).
+	proposals map[Instance]map[string]bool
 	// canonical is the agreed value-or-⊥ per position, fixed by the first
 	// output history covering it. bot marks an agreed ⊥.
 	canonical map[Instance]canonEntry
@@ -50,7 +52,7 @@ type colorRange struct {
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		proposals: make(map[Instance]map[Value]bool),
+		proposals: make(map[Instance]map[string]bool),
 		canonical: make(map[Instance]canonEntry),
 		decided:   make(map[sim.NodeID]map[Instance]bool),
 		colors:    make(map[Instance]*colorRange),
@@ -65,9 +67,9 @@ func (rec *Recorder) WrapPropose(propose func(Instance) Value) func(Instance) Va
 		v := propose(k)
 		rec.mu.Lock()
 		if rec.proposals[k] == nil {
-			rec.proposals[k] = make(map[Value]bool)
+			rec.proposals[k] = make(map[string]bool)
 		}
-		rec.proposals[k][v] = true
+		rec.proposals[k][v.String()] = true
 		rec.mu.Unlock()
 		return v
 	}
@@ -124,7 +126,7 @@ func (rec *Recorder) Record(id sim.NodeID, o Output) {
 			}
 			continue
 		}
-		if prev != entry {
+		if prev.bot != entry.bot || !prev.val.Equal(entry.val) {
 			rec.agreementViolations++
 			if rec.firstAgreement == "" {
 				rec.firstAgreement = fmt.Sprintf(
@@ -139,15 +141,15 @@ func renderEntry(e canonEntry) string {
 	if e.bot {
 		return "⊥"
 	}
-	return fmt.Sprintf("%q", string(e.val))
+	return fmt.Sprintf("%q", e.val.String())
 }
 
 func (rec *Recorder) checkValidity(k Instance, v Value, id sim.NodeID) {
-	if !rec.proposals[k][v] {
+	if !rec.proposals[k][v.String()] {
 		rec.validityViolations++
 		if rec.firstValidity == "" {
 			rec.firstValidity = fmt.Sprintf(
-				"node %d output value %q for instance %d, which nobody proposed", id, string(v), k)
+				"node %d output value %q for instance %d, which nobody proposed", id, v.String(), k)
 		}
 	}
 }

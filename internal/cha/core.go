@@ -1,5 +1,7 @@
 package cha
 
+import "vinfra/internal/wire"
+
 // Core is the round-agnostic CHAP state machine of Figure 1. It holds the
 // per-instance status (color) and ballot arrays, the prev-instance pointer,
 // and the calculate-history function; callers drive it through the three
@@ -222,14 +224,89 @@ type CoreSnapshot struct {
 	Statuses       []Color
 }
 
-// WireSize returns the accounted size of the snapshot on the wire.
+// WireSize returns the exact size of the snapshot's wire encoding
+// (AppendTo appends exactly this many bytes).
 func (s CoreSnapshot) WireSize() int {
-	size := 3 * 8
-	for _, b := range s.Ballots {
-		size += 8 + 8 + len(b.V)
+	size := wire.UvarintSize(uint64(s.Floor)) +
+		wire.UvarintSize(uint64(s.K)) +
+		wire.UvarintSize(uint64(s.Prev)) +
+		wire.UvarintSize(uint64(len(s.BallotKeys))) +
+		wire.UvarintSize(uint64(len(s.StatusKeys)))
+	for i, k := range s.BallotKeys {
+		b := s.Ballots[i]
+		size += wire.UvarintSize(uint64(k)) +
+			wire.BytesSize(b.V.Len()) +
+			wire.UvarintSize(uint64(b.Prev))
 	}
-	size += len(s.Statuses) * 9
+	for i, k := range s.StatusKeys {
+		size += wire.UvarintSize(uint64(k)) + wire.UvarintSize(uint64(s.Statuses[i]))
+	}
 	return size
+}
+
+// AppendTo appends the snapshot's canonical wire encoding: the three
+// pointers, then the ballot entries (instance, value, prev) in instance
+// order, then the status entries (instance, color) in instance order.
+// Snapshot always emits sorted keys, so equal cores encode identically.
+func (s CoreSnapshot) AppendTo(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(s.Floor))
+	dst = wire.AppendUvarint(dst, uint64(s.K))
+	dst = wire.AppendUvarint(dst, uint64(s.Prev))
+	dst = wire.AppendUvarint(dst, uint64(len(s.BallotKeys)))
+	for i, k := range s.BallotKeys {
+		b := s.Ballots[i]
+		dst = wire.AppendUvarint(dst, uint64(k))
+		dst = wire.AppendBytes(dst, b.V.Bytes())
+		dst = wire.AppendUvarint(dst, uint64(b.Prev))
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(s.StatusKeys)))
+	for i, k := range s.StatusKeys {
+		dst = wire.AppendUvarint(dst, uint64(k))
+		dst = wire.AppendUvarint(dst, uint64(s.Statuses[i]))
+	}
+	return dst
+}
+
+// DecodeCoreSnapshot parses one snapshot from d (the inverse of AppendTo).
+// It validates counts against the remaining input and the color range, so
+// adversarial bytes yield an error, never a panic or an outsized
+// allocation.
+func DecodeCoreSnapshot(d *wire.Decoder) (CoreSnapshot, error) {
+	var s CoreSnapshot
+	s.Floor = Instance(d.Uvarint())
+	s.K = Instance(d.Uvarint())
+	s.Prev = Instance(d.Uvarint())
+	nb := d.Uvarint()
+	if d.Err() != nil || nb > uint64(d.Rem()) {
+		return CoreSnapshot{}, wire.ErrMalformed
+	}
+	for i := uint64(0); i < nb; i++ {
+		k := Instance(d.Uvarint())
+		v := d.Bytes()
+		prev := Instance(d.Uvarint())
+		if d.Err() != nil {
+			return CoreSnapshot{}, d.Err()
+		}
+		s.BallotKeys = append(s.BallotKeys, k)
+		s.Ballots = append(s.Ballots, Ballot{V: ValueOf(append([]byte(nil), v...)), Prev: prev})
+	}
+	ns := d.Uvarint()
+	if d.Err() != nil || ns > uint64(d.Rem()) {
+		return CoreSnapshot{}, wire.ErrMalformed
+	}
+	for i := uint64(0); i < ns; i++ {
+		k := Instance(d.Uvarint())
+		c := Color(d.Uvarint())
+		if d.Err() != nil {
+			return CoreSnapshot{}, d.Err()
+		}
+		if c < Red || c > Green {
+			return CoreSnapshot{}, wire.ErrMalformed
+		}
+		s.StatusKeys = append(s.StatusKeys, k)
+		s.Statuses = append(s.Statuses, c)
+	}
+	return s, nil
 }
 
 // Snapshot captures the core's current state.

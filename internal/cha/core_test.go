@@ -29,14 +29,14 @@ func drive(c *Core, k Instance, s instanceScript) Output {
 
 func TestCleanInstanceIsGreen(t *testing.T) {
 	c := NewCore()
-	out := drive(c, 1, instanceScript{proposal: "v1"})
+	out := drive(c, 1, instanceScript{proposal: V("v1")})
 	if out.Color != Green {
 		t.Fatalf("color = %v, want green", out.Color)
 	}
 	if !out.Decided() {
 		t.Fatal("clean instance must decide")
 	}
-	if v, ok := out.History.At(1); !ok || v != "v1" {
+	if v, ok := out.History.At(1); !ok || v.String() != "v1" {
 		t.Errorf("history(1) = %q, %v", v, ok)
 	}
 	if c.Prev() != 1 {
@@ -54,13 +54,13 @@ func TestFigure2ColorTable(t *testing.T) {
 		decide bool
 	}{
 		{"ballot ok, veto1 ok, veto2 ok -> green, history",
-			instanceScript{proposal: "v"}, Green, true},
+			instanceScript{proposal: V("v")}, Green, true},
 		{"ballot ok, veto1 ok, veto2 X -> yellow, bottom",
-			instanceScript{proposal: "v", coll2: true}, Yellow, false},
+			instanceScript{proposal: V("v"), coll2: true}, Yellow, false},
 		{"ballot ok, veto1 X -> orange, bottom",
-			instanceScript{proposal: "v", coll1: true, veto2: true}, Orange, false},
+			instanceScript{proposal: V("v"), coll1: true, veto2: true}, Orange, false},
 		{"ballot X -> red, bottom",
-			instanceScript{proposal: "v", ballotColl: true, veto1: true, veto2: true}, Red, false},
+			instanceScript{proposal: V("v"), ballotColl: true, veto1: true, veto2: true}, Red, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -78,7 +78,7 @@ func TestFigure2ColorTable(t *testing.T) {
 
 func TestEmptyBallotPhaseIsRed(t *testing.T) {
 	c := NewCore()
-	c.Begin(1, "v")
+	c.Begin(1, V("v"))
 	c.ObserveBallots(nil, false) // M = ∅, no collision: still red (line 30)
 	if !c.NeedVeto1() {
 		t.Error("empty ballot set must designate red")
@@ -87,7 +87,7 @@ func TestEmptyBallotPhaseIsRed(t *testing.T) {
 
 func TestVetoObligations(t *testing.T) {
 	c := NewCore()
-	c.Begin(1, "v")
+	c.Begin(1, V("v"))
 	c.ObserveBallots(nil, true) // red
 	if !c.NeedVeto1() {
 		t.Error("red node must veto in veto-1")
@@ -101,8 +101,8 @@ func TestVetoObligations(t *testing.T) {
 	}
 
 	c2 := NewCore()
-	c2.Begin(1, "v")
-	c2.ObserveBallots([]Ballot{{V: "v"}}, false)
+	c2.Begin(1, V("v"))
+	c2.ObserveBallots([]Ballot{{V: V("v")}}, false)
 	if c2.NeedVeto1() {
 		t.Error("non-red node must not veto in veto-1")
 	}
@@ -117,7 +117,7 @@ func TestVetoObligations(t *testing.T) {
 
 func TestYellowIsGoodButUndecided(t *testing.T) {
 	c := NewCore()
-	out := drive(c, 1, instanceScript{proposal: "v", veto2: true})
+	out := drive(c, 1, instanceScript{proposal: V("v"), veto2: true})
 	if out.Color != Yellow {
 		t.Fatalf("color = %v", out.Color)
 	}
@@ -135,8 +135,8 @@ func TestOrangeAndRedDoNotAdvancePrev(t *testing.T) {
 		name   string
 		script instanceScript
 	}{
-		{"orange", instanceScript{proposal: "v", coll1: true, veto2: true}},
-		{"red", instanceScript{proposal: "v", ballotColl: true, veto1: true, veto2: true}},
+		{"orange", instanceScript{proposal: V("v"), coll1: true, veto2: true}},
+		{"red", instanceScript{proposal: V("v"), ballotColl: true, veto1: true, veto2: true}},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
 			c := NewCore()
@@ -151,21 +151,21 @@ func TestOrangeAndRedDoNotAdvancePrev(t *testing.T) {
 func TestHistoryChainSkipsBadInstances(t *testing.T) {
 	c := NewCore()
 	// Instance 1 green, instance 2 red, instance 3 green.
-	drive(c, 1, instanceScript{proposal: "a"})
-	drive(c, 2, instanceScript{proposal: "b", ballotColl: true, veto1: true, veto2: true})
+	drive(c, 1, instanceScript{proposal: V("a")})
+	drive(c, 2, instanceScript{proposal: V("b"), ballotColl: true, veto1: true, veto2: true})
 	// At instance 3 the leader (this node) broadcasts prev=1.
-	out := drive(c, 3, instanceScript{proposal: "c"})
+	out := drive(c, 3, instanceScript{proposal: V("c")})
 	if !out.Decided() {
 		t.Fatal("instance 3 should decide")
 	}
 	h := out.History
-	if v, ok := h.At(1); !ok || v != "a" {
+	if v, ok := h.At(1); !ok || v.String() != "a" {
 		t.Errorf("h(1) = %q,%v want a", v, ok)
 	}
 	if h.Includes(2) {
 		t.Error("red instance 2 must be ⊥ in the history")
 	}
-	if v, ok := h.At(3); !ok || v != "c" {
+	if v, ok := h.At(3); !ok || v.String() != "c" {
 		t.Errorf("h(3) = %q,%v want c", v, ok)
 	}
 }
@@ -175,52 +175,52 @@ func TestAdoptedBallotPointerOverridesLocalChain(t *testing.T) {
 	// whose prev pointer includes 2 — the chain must follow the ballot's
 	// pointer, not the node's own prev history.
 	c := NewCore()
-	drive(c, 1, instanceScript{proposal: "a"}) // green, prev=1
+	drive(c, 1, instanceScript{proposal: V("a")}) // green, prev=1
 	// Instance 2: ballot received but then vetoed into orange.
-	c.Begin(2, "b")
-	c.ObserveBallots([]Ballot{{V: "b", Prev: 1}}, false)
+	c.Begin(2, V("b"))
+	c.ObserveBallots([]Ballot{{V: V("b"), Prev: 1}}, false)
 	c.ObserveVeto1(true, false) // orange
 	out := c.ObserveVeto2(true, false)
 	if out.Color != Orange || c.Prev() != 1 {
 		t.Fatalf("setup: color=%v prev=%d", out.Color, c.Prev())
 	}
 	// Instance 3: leader was yellow at 2, so its ballot carries prev=2.
-	c.Begin(3, "c")
-	c.ObserveBallots([]Ballot{{V: "c", Prev: 2}}, false)
+	c.Begin(3, V("c"))
+	c.ObserveBallots([]Ballot{{V: V("c"), Prev: 2}}, false)
 	c.ObserveVeto1(false, false)
 	out = c.ObserveVeto2(false, false)
 	if !out.Decided() {
 		t.Fatal("instance 3 should decide")
 	}
 	h := out.History
-	if v, ok := h.At(2); !ok || v != "b" {
+	if v, ok := h.At(2); !ok || v.String() != "b" {
 		t.Errorf("h(2) = %q,%v; the adopted chain must include instance 2", v, ok)
 	}
-	if v, ok := h.At(1); !ok || v != "a" {
+	if v, ok := h.At(1); !ok || v.String() != "a" {
 		t.Errorf("h(1) = %q,%v", v, ok)
 	}
 }
 
 func TestMinBallotAdoption(t *testing.T) {
 	c := NewCore()
-	c.Begin(1, "z")
-	c.ObserveBallots([]Ballot{{V: "m", Prev: 0}, {V: "a", Prev: 0}}, false)
+	c.Begin(1, V("z"))
+	c.ObserveBallots([]Ballot{{V: V("m"), Prev: 0}, {V: V("a"), Prev: 0}}, false)
 	c.ObserveVeto1(false, false)
 	out := c.ObserveVeto2(false, false)
-	if v, _ := out.History.At(1); v != "a" {
+	if v, _ := out.History.At(1); v.String() != "a" {
 		t.Errorf("adopted %q, want minimum ballot a", v)
 	}
 }
 
 func TestBeginPanicsOnNonIncreasingInstance(t *testing.T) {
 	c := NewCore()
-	c.Begin(1, "a")
+	c.Begin(1, V("a"))
 	defer func() {
 		if recover() == nil {
 			t.Error("Begin(1) twice should panic")
 		}
 	}()
-	c.Begin(1, "b")
+	c.Begin(1, V("b"))
 }
 
 func TestBrokenChainCounter(t *testing.T) {
@@ -228,12 +228,12 @@ func TestBrokenChainCounter(t *testing.T) {
 	// Simulate the impossible-under-completeness situation: adopt a ballot
 	// whose prev pointer names an instance we never stored (we were red
 	// there and — with a broken detector — the leader never learned).
-	c.Begin(1, "a")
+	c.Begin(1, V("a"))
 	c.ObserveBallots(nil, true)  // red at 1: no ballot stored
 	c.ObserveVeto1(false, false) // vetoes lost, nothing detected (broken CD)
 	c.ObserveVeto2(false, false)
-	c.Begin(2, "b")
-	c.ObserveBallots([]Ballot{{V: "b", Prev: 1}}, false)
+	c.Begin(2, V("b"))
+	c.ObserveBallots([]Ballot{{V: V("b"), Prev: 1}}, false)
 	c.ObserveVeto1(false, false)
 	out := c.ObserveVeto2(false, false)
 	if c.BrokenChains == 0 {
@@ -247,7 +247,7 @@ func TestBrokenChainCounter(t *testing.T) {
 func TestGCBoundsRetainedState(t *testing.T) {
 	c := NewCore()
 	for k := Instance(1); k <= 100; k++ {
-		out := drive(c, k, instanceScript{proposal: Value(fmt.Sprintf("v%d", k))})
+		out := drive(c, k, instanceScript{proposal: V(fmt.Sprintf("v%d", k))})
 		if out.Color != Green {
 			t.Fatalf("instance %d not green", k)
 		}
@@ -263,10 +263,10 @@ func TestGCBoundsRetainedState(t *testing.T) {
 
 func TestGCHistoriesStartAboveFloor(t *testing.T) {
 	c := NewCore()
-	drive(c, 1, instanceScript{proposal: "a"})
-	drive(c, 2, instanceScript{proposal: "b"})
+	drive(c, 1, instanceScript{proposal: V("a")})
+	drive(c, 2, instanceScript{proposal: V("b")})
 	c.GC(2)
-	out := drive(c, 3, instanceScript{proposal: "c"})
+	out := drive(c, 3, instanceScript{proposal: V("c")})
 	if !out.Decided() {
 		t.Fatal("instance 3 should decide")
 	}
@@ -284,7 +284,7 @@ func TestGCHistoriesStartAboveFloor(t *testing.T) {
 func TestNoGCKeepsEverything(t *testing.T) {
 	c := NewCore()
 	for k := Instance(1); k <= 50; k++ {
-		drive(c, k, instanceScript{proposal: "v"})
+		drive(c, k, instanceScript{proposal: V("v")})
 	}
 	if got := c.Retained(); got < 50 {
 		t.Errorf("without GC, retained = %d, want >= 50", got)

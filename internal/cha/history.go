@@ -16,16 +16,72 @@
 package cha
 
 import (
+	"bytes"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
+
+	"vinfra/internal/wire"
 )
 
-// Value is a proposal value, an element of the totally ordered domain V.
-// The ordering is the string ordering; the empty string is a legal value
-// (distinct from ⊥, which is represented by absence).
-type Value string
+// Value is a proposal value, an element of the totally ordered domain V:
+// an immutable byte string under the bytewise ordering, carrying a cached
+// FNV-1a digest of its contents. The empty value is legal (distinct from
+// ⊥, which is represented by absence).
+//
+// The digest is computed once at construction and reused every time the
+// value is folded into a history digest, so digesting a history prefix
+// costs O(positions), not O(total value bytes) — the state cache and the
+// checkpointing variant digest prefixes every virtual round.
+//
+// Values treat their bytes as immutable: constructors own or copy their
+// input, and Bytes returns a view callers must not mutate.
+type Value struct {
+	b []byte
+	d wire.Digest // FNV-1a of b; 0 only for the zero Value (computed lazily)
+}
+
+// ValueOf wraps b as a Value, taking ownership (b must not be mutated
+// afterwards) and caching its digest.
+func ValueOf(b []byte) Value {
+	return Value{b: b, d: wire.DigestOf(b)}
+}
+
+// V builds a Value from a string (copying it). It is the literal-friendly
+// constructor for tests and proposal functions.
+func V(s string) Value { return ValueOf([]byte(s)) }
+
+// Bytes returns the value's byte content as a read-only view.
+func (v Value) Bytes() []byte { return v.b }
+
+// String returns the value's bytes as a string.
+func (v Value) String() string { return string(v.b) }
+
+// Len returns the value's length in bytes.
+func (v Value) Len() int { return len(v.b) }
+
+// Digest returns the cached FNV-1a digest of the value's bytes.
+func (v Value) Digest() wire.Digest {
+	if v.d == 0 && len(v.b) == 0 {
+		return wire.NewDigest()
+	}
+	return v.d
+}
+
+// Equal reports bytewise equality. The cached digests reject unequal
+// values without comparing bytes.
+func (v Value) Equal(o Value) bool {
+	if len(v.b) != len(o.b) {
+		return false
+	}
+	if v.d != 0 && o.d != 0 && v.d != o.d {
+		return false
+	}
+	return bytes.Equal(v.b, o.b)
+}
+
+// Compare orders values bytewise (the total order of the domain V).
+func (v Value) Compare(o Value) int { return bytes.Compare(v.b, o.b) }
 
 // Instance indexes an agreement instance; instances are numbered from 1.
 // Instance 0 is the sentinel meaning "no instance" (the initial
@@ -88,10 +144,16 @@ type Ballot struct {
 // Less orders ballots lexicographically by (V, Prev); CHAP receivers adopt
 // the minimum ballot deterministically (Figure 1 line 32).
 func (b Ballot) Less(o Ballot) bool {
-	if b.V != o.V {
-		return b.V < o.V
+	if c := b.V.Compare(o.V); c != 0 {
+		return c < 0
 	}
 	return b.Prev < o.Prev
+}
+
+// Equal reports whether two ballots carry the same value and prev pointer.
+// (Ballot holds a byte-backed Value, so == does not apply.)
+func (b Ballot) Equal(o Ballot) bool {
+	return b.Prev == o.Prev && b.V.Equal(o.V)
 }
 
 // MinBallot returns the minimum of a non-empty ballot set.
@@ -162,7 +224,7 @@ func (h *History) PrefixEqual(o *History, k Instance) bool {
 	for i := Instance(1); i <= k; i++ {
 		v1, ok1 := h.At(i)
 		v2, ok2 := o.At(i)
-		if ok1 != ok2 || v1 != v2 {
+		if ok1 != ok2 || !v1.Equal(v2) {
 			return false
 		}
 	}
@@ -172,25 +234,18 @@ func (h *History) PrefixEqual(o *History, k Instance) bool {
 // foldPosition chains one history position into a running digest. Because
 // the digest is a strict position-by-position fold, folding a history in
 // segments (as the checkpointing variant does, Section 3.5) produces the
-// same value as folding it in one pass.
+// same value as folding it in one pass. Present positions fold the value's
+// cached digest and length rather than its bytes, so re-digesting a prefix
+// never re-hashes full proposal values (and, unlike the old hash/fnv
+// implementation, allocates nothing).
 func foldPosition(d uint64, k Instance, v Value, present bool) uint64 {
-	hash := fnv.New64a()
-	var buf [8]byte
-	writeU64 := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(x >> (8 * i))
-		}
-		hash.Write(buf[:])
-	}
-	writeU64(d)
-	writeU64(uint64(k))
+	h := wire.NewDigest().FoldUint64(d).FoldUint64(uint64(k))
 	if present {
-		hash.Write([]byte{1})
-		hash.Write([]byte(v))
+		h = h.FoldByte(1).FoldUint64(uint64(v.Digest())).FoldUint64(uint64(v.Len()))
 	} else {
-		hash.Write([]byte{0})
+		h = h.FoldByte(0)
 	}
-	return hash.Sum64()
+	return uint64(h)
 }
 
 // DigestRange folds positions from..to (inclusive, ⊥ positions included)
@@ -224,7 +279,7 @@ func (h *History) String() string {
 			sb.WriteByte(' ')
 		}
 		if v, ok := h.At(i); ok {
-			fmt.Fprintf(&sb, "%d:%s", i, string(v))
+			fmt.Fprintf(&sb, "%d:%s", i, v.String())
 		} else {
 			fmt.Fprintf(&sb, "%d:⊥", i)
 		}

@@ -50,10 +50,10 @@ func TestBallotOrdering(t *testing.T) {
 		a, b Ballot
 		less bool
 	}{
-		{"by value", Ballot{V: "a", Prev: 9}, Ballot{V: "b", Prev: 1}, true},
-		{"by value reversed", Ballot{V: "b"}, Ballot{V: "a"}, false},
-		{"tie on value, by prev", Ballot{V: "a", Prev: 1}, Ballot{V: "a", Prev: 2}, true},
-		{"equal", Ballot{V: "a", Prev: 1}, Ballot{V: "a", Prev: 1}, false},
+		{"by value", Ballot{V: V("a"), Prev: 9}, Ballot{V: V("b"), Prev: 1}, true},
+		{"by value reversed", Ballot{V: V("b")}, Ballot{V: V("a")}, false},
+		{"tie on value, by prev", Ballot{V: V("a"), Prev: 1}, Ballot{V: V("a"), Prev: 2}, true},
+		{"equal", Ballot{V: V("a"), Prev: 1}, Ballot{V: V("a"), Prev: 1}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -65,12 +65,12 @@ func TestBallotOrdering(t *testing.T) {
 }
 
 func TestMinBallot(t *testing.T) {
-	bs := []Ballot{{V: "c", Prev: 1}, {V: "a", Prev: 5}, {V: "b", Prev: 0}}
-	if got := MinBallot(bs); got != (Ballot{V: "a", Prev: 5}) {
+	bs := []Ballot{{V: V("c"), Prev: 1}, {V: V("a"), Prev: 5}, {V: V("b"), Prev: 0}}
+	if got := MinBallot(bs); !got.Equal(Ballot{V: V("a"), Prev: 5}) {
 		t.Errorf("MinBallot = %+v", got)
 	}
-	single := []Ballot{{V: "x", Prev: 3}}
-	if got := MinBallot(single); got != single[0] {
+	single := []Ballot{{V: V("x"), Prev: 3}}
+	if got := MinBallot(single); !got.Equal(single[0]) {
 		t.Errorf("MinBallot of singleton = %+v", got)
 	}
 }
@@ -82,12 +82,12 @@ func TestMinBallotIsDeterministicUnderPermutation(t *testing.T) {
 		}
 		bs := make([]Ballot, len(vals))
 		for i, v := range vals {
-			bs[i] = Ballot{V: Value(string(rune('a' + v%26))), Prev: Instance(v % 7)}
+			bs[i] = Ballot{V: V(string(rune('a' + v%26))), Prev: Instance(v % 7)}
 		}
 		want := MinBallot(bs)
 		// Rotate and compare.
 		rot := append(bs[1:], bs[0])
-		return MinBallot(rot) == want
+		return MinBallot(rot).Equal(want)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -95,11 +95,11 @@ func TestMinBallotIsDeterministicUnderPermutation(t *testing.T) {
 }
 
 func TestHistoryBasics(t *testing.T) {
-	h := NewHistory(5, map[Instance]Value{1: "a", 3: "b", 5: "c"})
+	h := NewHistory(5, map[Instance]Value{1: V("a"), 3: V("b"), 5: V("c")})
 	if h.Top() != 5 {
 		t.Errorf("Top = %d", h.Top())
 	}
-	if v, ok := h.At(3); !ok || v != "b" {
+	if v, ok := h.At(3); !ok || v.String() != "b" {
 		t.Errorf("At(3) = %q, %v", v, ok)
 	}
 	if _, ok := h.At(2); ok {
@@ -120,23 +120,23 @@ func TestHistoryBasics(t *testing.T) {
 }
 
 func TestNewHistoryDropsOutOfRange(t *testing.T) {
-	h := NewHistory(3, map[Instance]Value{0: "x", 2: "a", 7: "y"})
+	h := NewHistory(3, map[Instance]Value{0: V("x"), 2: V("a"), 7: V("y")})
 	if h.Len() != 1 || !h.Includes(2) {
 		t.Errorf("out-of-range entries retained: %v", h)
 	}
 }
 
 func TestPrefixEqual(t *testing.T) {
-	h1 := NewHistory(5, map[Instance]Value{1: "a", 3: "b", 5: "c"})
-	h2 := NewHistory(7, map[Instance]Value{1: "a", 3: "b", 5: "c", 6: "z"})
+	h1 := NewHistory(5, map[Instance]Value{1: V("a"), 3: V("b"), 5: V("c")})
+	h2 := NewHistory(7, map[Instance]Value{1: V("a"), 3: V("b"), 5: V("c"), 6: V("z")})
 	if !h1.PrefixEqual(h2, 5) {
 		t.Error("prefixes through 5 should match")
 	}
-	h3 := NewHistory(7, map[Instance]Value{1: "a", 3: "X"})
+	h3 := NewHistory(7, map[Instance]Value{1: V("a"), 3: V("X")})
 	if h1.PrefixEqual(h3, 3) {
 		t.Error("differing value at 3 should fail")
 	}
-	h4 := NewHistory(7, map[Instance]Value{1: "a", 2: "extra", 3: "b"})
+	h4 := NewHistory(7, map[Instance]Value{1: V("a"), 2: V("extra"), 3: V("b")})
 	if h1.PrefixEqual(h4, 3) {
 		t.Error("⊥ vs value at 2 should fail")
 	}
@@ -146,23 +146,23 @@ func TestPrefixEqual(t *testing.T) {
 }
 
 func TestDigest(t *testing.T) {
-	h1 := NewHistory(3, map[Instance]Value{1: "a", 3: "b"})
-	h2 := NewHistory(3, map[Instance]Value{1: "a", 3: "b"})
+	h1 := NewHistory(3, map[Instance]Value{1: V("a"), 3: V("b")})
+	h2 := NewHistory(3, map[Instance]Value{1: V("a"), 3: V("b")})
 	if h1.Digest() != h2.Digest() {
 		t.Error("equal histories must have equal digests")
 	}
-	h3 := NewHistory(3, map[Instance]Value{1: "a", 2: "b"})
+	h3 := NewHistory(3, map[Instance]Value{1: V("a"), 2: V("b")})
 	if h1.Digest() == h3.Digest() {
 		t.Error("⊥ positions must affect the digest")
 	}
-	h4 := NewHistory(3, map[Instance]Value{1: "a", 3: "c"})
+	h4 := NewHistory(3, map[Instance]Value{1: V("a"), 3: V("c")})
 	if h1.Digest() == h4.Digest() {
 		t.Error("values must affect the digest")
 	}
 }
 
 func TestDigestChaining(t *testing.T) {
-	h := NewHistory(4, map[Instance]Value{1: "a", 2: "b", 3: "c", 4: "d"})
+	h := NewHistory(4, map[Instance]Value{1: V("a"), 2: V("b"), 3: V("c"), 4: V("d")})
 	full := h.DigestUpTo(4, 0)
 	if full == h.DigestUpTo(3, 0) {
 		t.Error("digest must depend on the prefix length")
@@ -178,7 +178,7 @@ func TestHistoryDigestProperty(t *testing.T) {
 		vals := make(map[Instance]Value)
 		for _, k := range keys {
 			kk := Instance(k%20) + 1
-			vals[kk] = Value(string(rune('a' + k%26)))
+			vals[kk] = V(string(rune('a' + k%26)))
 		}
 		h1 := NewHistory(20, vals)
 		h2 := NewHistory(20, vals)

@@ -3,6 +3,7 @@ package cha
 import (
 	"vinfra/internal/cm"
 	"vinfra/internal/sim"
+	"vinfra/internal/wire"
 )
 
 // RoundsPerInstance is the number of communication rounds CHAP uses per
@@ -39,15 +40,21 @@ func PhaseOf(r sim.Round) (Instance, Phase) {
 	return Instance(r/RoundsPerInstance) + 1, Phase(r % RoundsPerInstance)
 }
 
-// BallotMsg carries a ballot on the wire. Its size is the value size plus
-// the prev-instance pointer, which the paper counts as constant (footnote:
-// "we consider an array index to be of constant size").
+// BallotMsg carries a ballot on the wire: the length-prefixed proposal
+// value plus the prev-instance pointer, which the paper counts as constant
+// (footnote: "we consider an array index to be of constant size").
 type BallotMsg struct {
 	B Ballot
 }
 
-// WireSize implements sim.Sized.
-func (m BallotMsg) WireSize() int { return len(m.B.V) + 8 }
+// WireSize implements sim.Sized: the exact length of the ballot's wire
+// encoding — the length-prefixed value plus a fixed 8-byte prev pointer.
+// The pointer is fixed-width, not a varint, so message size is genuinely
+// constant in execution length (the paper's footnote counts an array index
+// as constant size; a varint would grow with log of the instance number).
+func (m BallotMsg) WireSize() int {
+	return wire.BytesSize(m.B.V.Len()) + 8
+}
 
 // VetoMsg is the one-bit veto indication of the veto phases.
 type VetoMsg struct{}

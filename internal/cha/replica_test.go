@@ -71,7 +71,7 @@ func newCluster(t *testing.T, o clusterOpts) *cluster {
 		id := c.eng.Attach(pos, mobility.Static{}, func(env sim.Env) sim.Node {
 			rep := cha.NewReplica(env, cha.Config{
 				Propose: c.rec.WrapPropose(func(k cha.Instance) cha.Value {
-					return cha.Value(fmt.Sprintf("n%02d-%06d", i, k))
+					return cha.V(fmt.Sprintf("n%02d-%06d", i, k))
 				}),
 				CM:         o.cmFactory(env),
 				OnOutput:   c.rec.OutputFunc(env.ID()),
@@ -265,7 +265,7 @@ func TestFootnote2ConsistencyAfterDeciderCrashes(t *testing.T) {
 	if !ok {
 		t.Fatal("survivor's history must include instance 1 (it was good there)")
 	}
-	if v1 != v0 {
+	if !v1.Equal(v0) {
 		t.Fatalf("survivor decided %q for instance 1, dead leader had %q", v1, v0)
 	}
 	requireClean(t, c.rec.Report())
@@ -300,7 +300,7 @@ func TestCheckpointMatchesPlainHistoryDigest(t *testing.T) {
 	medium := radio.MustMedium(radio.Config{Radii: testRadii, Detector: cd.AC{}})
 	eng := sim.NewEngine(medium)
 	var plain, ckpt *cha.Replica
-	propose := func(k cha.Instance) cha.Value { return cha.Value(fmt.Sprintf("%06d", k)) }
+	propose := func(k cha.Instance) cha.Value { return cha.V(fmt.Sprintf("%06d", k)) }
 	eng.Attach(geo.Point{X: 1}, nil, func(env sim.Env) sim.Node {
 		plain = cha.NewReplica(env, cha.Config{Propose: propose, CM: factory(env)})
 		return plain
@@ -331,9 +331,9 @@ func TestConstantMessageSize(t *testing.T) {
 	if short != long {
 		t.Errorf("message size grew with execution length: %d -> %d", short, long)
 	}
-	// 10-byte fixed-width value + 8-byte prev pointer.
-	if long > 18 {
-		t.Errorf("max message size = %d, want <= 18", long)
+	// Length-prefixed 10-byte fixed-width value + 8-byte prev pointer.
+	if long > 19 {
+		t.Errorf("max message size = %d, want <= 19", long)
 	}
 }
 
@@ -427,7 +427,7 @@ func TestReplicaConfigValidation(t *testing.T) {
 		})
 	}
 	mustPanic("missing propose", cha.Config{CM: factory(fakeCMEnv{})})
-	mustPanic("missing cm", cha.Config{Propose: func(cha.Instance) cha.Value { return "" }})
+	mustPanic("missing cm", cha.Config{Propose: func(cha.Instance) cha.Value { return cha.Value{} }})
 }
 
 type fakeCMEnv struct{}

@@ -9,9 +9,9 @@ func buildCoreWithHistory(t *testing.T) *Core {
 	t.Helper()
 	c := NewCore()
 	// Instance 1 green, 2 yellow, 3 green.
-	drive(c, 1, instanceScript{proposal: "a"})
-	drive(c, 2, instanceScript{proposal: "b", veto2: true})
-	drive(c, 3, instanceScript{proposal: "c"})
+	drive(c, 1, instanceScript{proposal: V("a")})
+	drive(c, 2, instanceScript{proposal: V("b"), veto2: true})
+	drive(c, 3, instanceScript{proposal: V("c")})
 	return c
 }
 
@@ -36,7 +36,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		t.Errorf("restored status(2) = %v, want yellow", restored.Status(2))
 	}
 	// The restored core continues correctly.
-	out := drive(restored, 4, instanceScript{proposal: "d"})
+	out := drive(restored, 4, instanceScript{proposal: V("d")})
 	if !out.Decided() || !out.History.Includes(1) || !out.History.Includes(4) {
 		t.Errorf("restored core's next instance broken: %v", out.History)
 	}
@@ -65,12 +65,15 @@ func sortedInstances(ks []Instance) bool {
 
 func TestSnapshotWireSize(t *testing.T) {
 	empty := CoreSnapshot{}
-	if got := empty.WireSize(); got != 24 {
-		t.Errorf("empty snapshot size = %d, want 24 (three headers)", got)
+	if got := empty.WireSize(); got != len(empty.AppendTo(nil)) {
+		t.Errorf("empty snapshot WireSize = %d, encoded %d bytes", got, len(empty.AppendTo(nil)))
 	}
 	c := buildCoreWithHistory(t)
 	snap := c.Snapshot()
-	if snap.WireSize() <= 24 {
+	if snap.WireSize() != len(snap.AppendTo(nil)) {
+		t.Errorf("WireSize = %d, encoded %d bytes", snap.WireSize(), len(snap.AppendTo(nil)))
+	}
+	if snap.WireSize() <= empty.WireSize() {
 		t.Error("populated snapshot should be larger than the header")
 	}
 	// GC shrinks the snapshot.
@@ -91,14 +94,14 @@ func TestResetAt(t *testing.T) {
 		t.Errorf("ResetAt must clear per-instance state, retained %d", c.Retained())
 	}
 	// Next instance is 11 and works from a clean slate.
-	out := drive(c, 11, instanceScript{proposal: "x"})
+	out := drive(c, 11, instanceScript{proposal: V("x")})
 	if !out.Decided() {
 		t.Fatal("instance after reset must decide")
 	}
 	if out.History.Includes(3) {
 		t.Error("pre-reset instances must not appear in post-reset histories")
 	}
-	if v, ok := out.History.At(11); !ok || v != "x" {
+	if v, ok := out.History.At(11); !ok || v.String() != "x" {
 		t.Errorf("h(11) = %q,%v", v, ok)
 	}
 }
@@ -120,13 +123,13 @@ func TestGCIdempotentAndMonotone(t *testing.T) {
 func TestCheckerValidityViolationDetected(t *testing.T) {
 	rec := NewRecorder()
 	// Propose only "legit" for instance 1.
-	propose := rec.WrapPropose(func(Instance) Value { return "legit" })
+	propose := rec.WrapPropose(func(Instance) Value { return V("legit") })
 	propose(1)
 	// An output claiming a value nobody proposed.
 	rec.Record(0, Output{
 		Instance: 1,
 		Color:    Green,
-		History:  NewHistory(1, map[Instance]Value{1: "forged"}),
+		History:  NewHistory(1, map[Instance]Value{1: V("forged")}),
 	})
 	rep := rec.Report()
 	if rep.ValidityViolations != 1 {
@@ -142,9 +145,9 @@ func TestCheckerValidityViolationDetected(t *testing.T) {
 
 func TestCheckerAgreementViolationDetected(t *testing.T) {
 	rec := NewRecorder()
-	propose := rec.WrapPropose(func(Instance) Value { return "v" })
+	propose := rec.WrapPropose(func(Instance) Value { return V("v") })
 	propose(1)
-	rec.Record(0, Output{Instance: 1, Color: Green, History: NewHistory(1, map[Instance]Value{1: "v"})})
+	rec.Record(0, Output{Instance: 1, Color: Green, History: NewHistory(1, map[Instance]Value{1: V("v")})})
 	rec.Record(1, Output{Instance: 1, Color: Green, History: NewHistory(1, nil)}) // ⊥ at 1
 	rep := rec.Report()
 	if rep.AgreementViolations != 1 {

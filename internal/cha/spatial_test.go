@@ -30,7 +30,7 @@ func TestSpatialReuseTwoGroups(t *testing.T) {
 			eng.Attach(pos, nil, func(env sim.Env) sim.Node {
 				rep := cha.NewReplica(env, cha.Config{
 					Propose: rec.WrapPropose(func(k cha.Instance) cha.Value {
-						return cha.Value(fmt.Sprintf("g%v-n%d-%d", center, i, k))
+						return cha.V(fmt.Sprintf("g%v-n%d-%d", center, i, k))
 					}),
 					CM:       factory(env),
 					OnOutput: rec.OutputFunc(env.ID()),
@@ -76,7 +76,7 @@ func TestTwoGroupsWithinInterferenceRange(t *testing.T) {
 			eng.Attach(pos, nil, func(env sim.Env) sim.Node {
 				return cha.NewReplica(env, cha.Config{
 					Propose: rec.WrapPropose(func(k cha.Instance) cha.Value {
-						return cha.Value(fmt.Sprintf("n%d-%d", i, k))
+						return cha.V(fmt.Sprintf("n%d-%d", i, k))
 					}),
 					CM:       factory(env),
 					OnOutput: rec.OutputFunc(env.ID()),

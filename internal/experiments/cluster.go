@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction experiment suite
-// E1–E11: Figure 2 of the paper reproduced directly, every quantitative
+// E1–E12: Figure 2 of the paper reproduced directly, every quantitative
 // claim (Theorem 14's constant overhead, Property 4's color invariant,
 // Theorems 10/12/13, the Section 4 emulation overhead and progress
 // conditions, the Section 1.5 baseline comparisons, and the
@@ -89,9 +89,9 @@ func newCluster(o clusterOpts) *cluster {
 			rep := cha.NewReplica(env, cha.Config{
 				Propose: c.rec.WrapPropose(func(k cha.Instance) cha.Value {
 					if o.fixedWidth {
-						return cha.Value(fmt.Sprintf("%010d", int(k)*100+i))
+						return cha.V(fmt.Sprintf("%010d", int(k)*100+i))
 					}
-					return cha.Value(fmt.Sprintf("n%02d-%06d", i, k))
+					return cha.V(fmt.Sprintf("n%02d-%06d", i, k))
 				}),
 				CM:         o.cmFactory(env),
 				OnOutput:   c.rec.OutputFunc(env.ID()),

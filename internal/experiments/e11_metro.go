@@ -88,7 +88,7 @@ func metroCell(c *harness.Cell) []harness.Row {
 					if vr%len(locs) != v {
 						return nil
 					}
-					return &vi.Message{Payload: fmt.Sprintf("ping-%02d-%04d", v, vr)}
+					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
 				}))
 		})
 	}

@@ -88,8 +88,9 @@ func overheadVsNCell(c *harness.Cell) []harness.Row {
 	st := cl.eng.Stats()
 	chapRounds := float64(st.Rounds) / float64(instances)
 
-	rsmRounds, rsmMsg, rsmSimRounds := rsmRun(n, instances, nil, 1+c.Base())
+	rsmRounds, rsmMsg, rsmSimRounds, rsmBytes := rsmRun(n, instances, nil, 1+c.Base())
 	c.CountRounds(st.Rounds + rsmSimRounds)
+	c.CountBytes(st.TotalBytes + rsmBytes)
 	return []harness.Row{{
 		harness.Int(n), harness.Float(chapRounds), harness.Int(st.MaxMessageSize),
 		harness.Float(rsmRounds), harness.Int(rsmMsg),
@@ -117,9 +118,11 @@ func overheadVsLengthCell(c *harness.Cell) []harness.Row {
 	cl.runInstances(l)
 	chapMax := cl.eng.Stats().MaxMessageSize
 	c.CountRounds(cl.eng.Stats().Rounds)
+	c.CountBytes(cl.eng.Stats().TotalBytes)
 
-	naiveMax := naiveMaxMessage(4, l)
+	naiveMax, naiveBytes := naiveMaxMessage(4, l)
 	c.CountRounds(l * cha.RoundsPerInstance)
+	c.CountBytes(naiveBytes)
 	return []harness.Row{{harness.Int(l), harness.Int(chapMax), harness.Int(naiveMax)}}
 }
 
@@ -134,8 +137,8 @@ func OverheadVsLength(lengths []int) *metrics.Table {
 }
 
 // naiveMaxMessage runs the full-history baseline for l instances and
-// returns the largest message observed.
-func naiveMaxMessage(n, l int) int {
+// returns the largest message observed and the total bytes transmitted.
+func naiveMaxMessage(n, l int) (int, int) {
 	medium := radio.MustMedium(radio.Config{Radii: Radii, Detector: cd.AC{}})
 	eng := sim.NewEngine(medium)
 	factory, _ := cm.NewFixed(0)
@@ -144,19 +147,20 @@ func naiveMaxMessage(n, l int) int {
 		eng.Attach(pos, nil, func(env sim.Env) sim.Node {
 			return baseline.NewNaiveReplica(baseline.NaiveConfig{
 				Propose: func(k cha.Instance) cha.Value {
-					return cha.Value(fmt.Sprintf("%06d-%02d", k, i))
+					return cha.V(fmt.Sprintf("%06d-%02d", k, i))
 				},
 				CM: factory(env),
 			})
 		})
 	}
 	eng.Run(l * cha.RoundsPerInstance)
-	return eng.Stats().MaxMessageSize
+	return eng.Stats().MaxMessageSize, eng.Stats().TotalBytes
 }
 
 // rsmRun runs the majority-RSM baseline and returns the mean rounds per
-// committed slot, the max message size, and the simulated rounds executed.
-func rsmRun(n, slots int, adv radio.Adversary, seed int64) (float64, int, int) {
+// committed slot, the max message size, the simulated rounds executed, and
+// the total bytes transmitted.
+func rsmRun(n, slots int, adv radio.Adversary, seed int64) (float64, int, int, int) {
 	medium := radio.MustMedium(radio.Config{Radii: Radii, Detector: cd.AC{}, Adversary: adv, Seed: seed})
 	eng := sim.NewEngine(medium, sim.WithSeed(seed))
 	var leader *baseline.MajorityRSM
@@ -181,15 +185,15 @@ func rsmRun(n, slots int, adv radio.Adversary, seed int64) (float64, int, int) {
 		s.AddInt(r)
 	}
 	if s.N() == 0 {
-		return math.Inf(1), eng.Stats().MaxMessageSize, eng.Stats().Rounds
+		return math.Inf(1), eng.Stats().MaxMessageSize, eng.Stats().Rounds, eng.Stats().TotalBytes
 	}
-	return s.Mean(), eng.Stats().MaxMessageSize, eng.Stats().Rounds
+	return s.Mean(), eng.Stats().MaxMessageSize, eng.Stats().Rounds, eng.Stats().TotalBytes
 }
 
 // rsmRoundsPerDecision preserves the historical two-value signature used by
 // the package tests.
 func rsmRoundsPerDecision(n, slots int, adv radio.Adversary, seed int64) (float64, int) {
-	mean, maxMsg, _ := rsmRun(n, slots, adv, seed)
+	mean, maxMsg, _, _ := rsmRun(n, slots, adv, seed)
 	return mean, maxMsg
 }
 
@@ -215,8 +219,9 @@ func roundsUnderLossCell(c *harness.Cell) []harness.Row {
 		chap = float64(cha.RoundsPerInstance) / rep.DecidedRate
 	}
 
-	rsm, _, rsmSimRounds := rsmRun(n, instances, radio.NewRandomLoss(p, 0, cd.Never, 78+base), 12+base)
+	rsm, _, rsmSimRounds, rsmBytes := rsmRun(n, instances, radio.NewRandomLoss(p, 0, cd.Never, 78+base), 12+base)
 	c.CountRounds(rsmSimRounds)
+	c.CountBytes(cl.eng.Stats().TotalBytes + rsmBytes)
 	return []harness.Row{{
 		harness.FloatText(fmt.Sprintf("%.1f", p), p),
 		harness.Float(chap), harness.Float(rep.DecidedRate), harness.Float(rsm),

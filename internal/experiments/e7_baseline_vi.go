@@ -73,8 +73,9 @@ func baselineVICell(c *harness.Cell) []harness.Row {
 
 	// RSM-based virtual round: client + vn phases, then one majority
 	// decision over the same radio channel.
-	rsmRounds, _, rsmSimRounds := rsmRun(n, vrounds, nil, int64(n)+c.Base())
+	rsmRounds, _, rsmSimRounds, rsmBytes := rsmRun(n, vrounds, nil, int64(n)+c.Base())
 	c.CountRounds(rsmSimRounds)
+	c.CountBytes(bed.eng.Stats().TotalBytes + rsmBytes)
 	rsm := 2 + rsmRounds
 	return []harness.Row{{
 		harness.Int(n), harness.Float(chap), harness.Float(rsm), harness.Float(rsm / chap),
@@ -102,13 +103,13 @@ func stateTransferCell(c *harness.Cell) []harness.Row {
 	core := cha.NewCore()
 	// One green instance, then `gap` yellow (undecided) instances that
 	// cannot be garbage collected.
-	b := core.Begin(1, "0123456789")
+	b := core.Begin(1, cha.V("0123456789"))
 	core.ObserveBallots([]cha.Ballot{b}, false)
 	core.ObserveVeto1(false, false)
 	out := core.ObserveVeto2(false, false)
 	core.GC(out.Instance)
 	for k := cha.Instance(2); k <= cha.Instance(1+gap); k++ {
-		bb := core.Begin(k, "0123456789")
+		bb := core.Begin(k, cha.V("0123456789"))
 		core.ObserveBallots([]cha.Ballot{bb}, false)
 		core.ObserveVeto1(false, false)
 		core.ObserveVeto2(false, true) // yellow: good but undecided

@@ -11,6 +11,7 @@ import (
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // viCounterProgram is the reference virtual node program for the VI
@@ -32,7 +33,13 @@ func viCounterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 				if !sched.ScheduledIn(v, vround-1) {
 					return nil
 				}
-				return &vi.Message{Payload: fmt.Sprintf("count=%d", s.Pings)}
+				return vi.Text(fmt.Sprintf("count=%d", s.Pings))
+			},
+			EncodeState: func(dst []byte, s viCounterState) []byte {
+				return wire.AppendUvarint(dst, uint64(s.Pings))
+			},
+			DecodeState: func(d *wire.Decoder) (viCounterState, error) {
+				return viCounterState{Pings: int(d.Uvarint())}, d.Err()
 			},
 		}
 	}
@@ -173,7 +180,7 @@ func (b *viBed) addPinger(pos geo.Point) {
 	b.eng.Attach(pos, nil, func(env sim.Env) sim.Node {
 		return b.dep.NewClient(env, vi.ClientFunc(
 			func(vr int, _ []vi.Message, _ bool) *vi.Message {
-				return &vi.Message{Payload: fmt.Sprintf("ping-%04d", vr)}
+				return vi.Text(fmt.Sprintf("ping-%04d", vr))
 			}))
 	})
 }

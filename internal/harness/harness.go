@@ -1,5 +1,5 @@
 // Package harness is the registry-based experiment runner behind
-// cmd/chabench. Every experiment of the reproduction suite (E1–E11)
+// cmd/chabench. Every experiment of the reproduction suite (E1–E12)
 // registers a Descriptor — a name, a parameter grid, a seed list and a run
 // function returning typed rows — instead of printing an ad-hoc table. The
 // harness fans experiment×parameter×seed cells out over a bounded worker
@@ -145,10 +145,17 @@ type Cell struct {
 	Seed   int64
 
 	rounds int
+	bytes  int
 }
 
 // CountRounds accumulates simulated rounds executed by this cell.
 func (c *Cell) CountRounds(n int) { c.rounds += n }
+
+// CountBytes accumulates transmitted wire bytes (sim.Stats.TotalBytes, the
+// engine's sim.MessageSize accounting) executed by this cell, so reports
+// carry measured bytes on the channel rather than only abstract per-message
+// sizes.
+func (c *Cell) CountBytes(n int) { c.bytes += n }
 
 // Base is the per-seed offset mixed into the historical in-experiment seed
 // constants: zero for seed 1 (reproducing the original tables), distinct
@@ -207,7 +214,7 @@ func idKey(id string) (int, string) {
 }
 
 // All returns every registered descriptor in natural ID order (E1, E2a,
-// E2b, …, E11), independent of file init order.
+// E2b, …, E12), independent of file init order.
 func All() []Descriptor {
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -248,7 +255,7 @@ func Select(only string) ([]Descriptor, error) {
 	}
 	for k := range want {
 		if !matched[k] {
-			return nil, fmt.Errorf("unknown experiment %q (want E1..E11 or a sub-ID like E2a)", k)
+			return nil, fmt.Errorf("unknown experiment %q (want E1..E12 or a sub-ID like E2a)", k)
 		}
 	}
 	return out, nil

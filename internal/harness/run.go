@@ -40,8 +40,12 @@ type Perf struct {
 	WallSec      float64 `json:"wall_sec"`
 	Rounds       int     `json:"rounds,omitempty"`
 	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
-	Allocs       uint64  `json:"allocs"`
-	AllocBytes   uint64  `json:"alloc_bytes"`
+	// WireBytes is the total transmitted wire bytes the cell reported via
+	// Cell.CountBytes — deterministic, unlike the wall/alloc samples, but
+	// grouped here because it is a cost measurement, not a result.
+	WireBytes  int    `json:"wire_bytes,omitempty"`
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
 }
 
 // CellResult is one executed cell.
@@ -133,6 +137,7 @@ func Run(o Options) (*Suite, error) {
 		perf := &Perf{
 			WallSec:    wall.Seconds(),
 			Rounds:     cell.rounds,
+			WireBytes:  cell.bytes,
 			Allocs:     after.Mallocs - before.Mallocs,
 			AllocBytes: after.TotalAlloc - before.TotalAlloc,
 		}

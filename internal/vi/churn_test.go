@@ -70,7 +70,7 @@ func TestMobileReplicasWithBackoffCM(t *testing.T) {
 		if !em.Joined() {
 			continue
 		}
-		got := em.StateBefore(vrounds + 1)
+		got := string(em.StateBefore(vrounds + 1))
 		if want == "" {
 			want = got
 			continue
@@ -152,7 +152,7 @@ func TestVNodeSurvivesTotalReplicaTurnover(t *testing.T) {
 	eng.Attach(geo.Point{X: 1.5, Y: 1}, nil, func(env sim.Env) sim.Node {
 		return dep.NewClient(env, vi.ClientFunc(
 			func(vr int, recv []vi.Message, coll bool) *vi.Message {
-				return &vi.Message{Payload: fmt.Sprintf("ping-%03d", vr)}
+				return vi.Text(fmt.Sprintf("ping-%03d", vr))
 			}))
 	})
 	per := dep.Timing().RoundsPerVRound()
@@ -190,7 +190,7 @@ func TestVNodeSurvivesTotalReplicaTurnover(t *testing.T) {
 		t.Errorf("virtual node lost state or progress through turnover: %+v", st)
 	}
 	// Both survivors agree.
-	if gen1[0].StateBefore(17) != gen1[1].StateBefore(17) {
+	if string(gen1[0].StateBefore(17)) != string(gen1[1].StateBefore(17)) {
 		t.Error("surviving replicas diverged")
 	}
 }

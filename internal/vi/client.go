@@ -1,6 +1,8 @@
 package vi
 
 import (
+	"bytes"
+
 	"vinfra/internal/sim"
 )
 
@@ -33,7 +35,7 @@ type Client struct {
 	d    *Deployment
 	prog ClientProgram
 
-	sentPayload string
+	sentPayload []byte
 	sentThis    bool
 	recv        []Message
 	collision   bool
@@ -77,7 +79,7 @@ func (c *Client) Receive(r sim.Round, rx sim.Reception) {
 			}
 			// The loopback copy of the client's own broadcast is not a
 			// reception.
-			if c.sentThis && !skippedOwn && msg.Payload == c.sentPayload {
+			if c.sentThis && !skippedOwn && bytes.Equal(msg.Payload, c.sentPayload) {
 				skippedOwn = true
 				continue
 			}

@@ -33,7 +33,7 @@ func TestClientIgnoresProtocolTraffic(t *testing.T) {
 	for _, m := range all {
 		// Only VN broadcasts ("count=...") are expected: there are no
 		// other clients to hear.
-		if len(m.Payload) < 6 || m.Payload[:6] != "count=" {
+		if len(m.Payload) < 6 || string(m.Payload[:6]) != "count=" {
 			t.Errorf("client program received protocol traffic: %q", m.Payload)
 		}
 	}
@@ -54,9 +54,9 @@ func TestClientDoesNotHearItself(t *testing.T) {
 	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
 		func(vr int, recv []vi.Message, coll bool) *vi.Message {
 			for _, m := range recv {
-				heard = append(heard, m.Payload)
+				heard = append(heard, string(m.Payload))
 			}
-			return &vi.Message{Payload: "my-own-ping"}
+			return vi.Text("my-own-ping")
 		}))
 	tb.runVRounds(6)
 
@@ -80,15 +80,15 @@ func TestClientsHearEachOther(t *testing.T) {
 	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
 		func(vr int, recv []vi.Message, coll bool) *vi.Message {
 			if vr%2 == 1 {
-				return &vi.Message{Payload: "from-a"}
+				return vi.Text("from-a")
 			}
 			return nil
 		}))
 	tb.addClient(geo.Point{X: -1, Y: 1}, vi.ClientFunc(
 		func(vr int, recv []vi.Message, coll bool) *vi.Message {
 			for _, m := range recv {
-				if m.Payload == "from-a" {
-					heardByB = append(heardByB, m.Payload)
+				if string(m.Payload) == "from-a" {
+					heardByB = append(heardByB, string(m.Payload))
 				}
 			}
 			return nil
@@ -114,7 +114,7 @@ func TestClientCollisionIndication(t *testing.T) {
 			if coll {
 				sawCollision++
 			}
-			return &vi.Message{Payload: payload}
+			return vi.Text(payload)
 		})
 	}
 	tb.addClient(geo.Point{X: 1, Y: -1}, mk("a"))

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"vinfra/internal/wire"
+
 	"vinfra/internal/cd"
 	"vinfra/internal/cha"
 	"vinfra/internal/cm"
@@ -32,17 +34,45 @@ func counterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 			Step: func(s counterState, vround int, in vi.RoundInput) counterState {
 				s.Rounds++
 				s.Pings += len(in.Msgs)
-				s.Heard = append(s.Heard, in.Msgs...)
+				for _, m := range in.Msgs {
+					s.Heard = append(s.Heard, string(m))
+				}
 				return s
 			},
 			Out: func(s counterState, vround int) *vi.Message {
 				if !sched.ScheduledIn(v, vround-1) {
 					return nil
 				}
-				return &vi.Message{Payload: fmt.Sprintf("count=%d", s.Pings)}
+				return vi.Text(fmt.Sprintf("count=%d", s.Pings))
 			},
+			EncodeState: encodeCounterState,
+			DecodeState: decodeCounterState,
 		}
 	}
+}
+
+func encodeCounterState(dst []byte, s counterState) []byte {
+	dst = wire.AppendUvarint(dst, uint64(s.Pings))
+	dst = wire.AppendUvarint(dst, uint64(s.Rounds))
+	dst = wire.AppendUvarint(dst, uint64(len(s.Heard)))
+	for _, h := range s.Heard {
+		dst = wire.AppendString(dst, h)
+	}
+	return dst
+}
+
+func decodeCounterState(d *wire.Decoder) (counterState, error) {
+	var s counterState
+	s.Pings = int(d.Uvarint())
+	s.Rounds = int(d.Uvarint())
+	n := d.Uvarint()
+	if d.Err() != nil || n > uint64(d.Rem()) {
+		return counterState{}, wire.ErrMalformed
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Heard = append(s.Heard, d.String())
+	}
+	return s, d.Err()
 }
 
 // fixedLeaderCM builds a CM factory where, per virtual node, the node with
@@ -172,14 +202,14 @@ func TestReplicasStayConsistent(t *testing.T) {
 	// A client pinging every virtual round gives the VN real inputs.
 	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
 		func(vr int, recv []vi.Message, coll bool) *vi.Message {
-			return &vi.Message{Payload: fmt.Sprintf("ping-%03d", vr)}
+			return vi.Text(fmt.Sprintf("ping-%03d", vr))
 		}))
 	tb.runVRounds(12)
 
 	// All replicas must compute the identical VN state.
-	want := tb.emulators[0].StateBefore(13)
+	want := string(tb.emulators[0].StateBefore(13))
 	for i, em := range tb.emulators[1:] {
-		if got := em.StateBefore(13); got != want {
+		if got := string(em.StateBefore(13)); got != want {
 			t.Errorf("replica %d diverged from replica 0", i+1)
 		}
 	}
@@ -197,7 +227,7 @@ func TestVNodeCountsClientPings(t *testing.T) {
 			if vr > rounds {
 				return nil
 			}
-			return &vi.Message{Payload: fmt.Sprintf("ping-%03d", vr)}
+			return vi.Text(fmt.Sprintf("ping-%03d", vr))
 		}))
 	tb.runVRounds(rounds + 2)
 
@@ -219,9 +249,9 @@ func TestClientHearsVirtualNode(t *testing.T) {
 	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
 		func(vr int, recv []vi.Message, coll bool) *vi.Message {
 			for _, m := range recv {
-				heard = append(heard, m.Payload)
+				heard = append(heard, string(m.Payload))
 			}
-			return &vi.Message{Payload: "ping"}
+			return vi.Text("ping")
 		}))
 	tb.runVRounds(8)
 	counts := 0
@@ -271,7 +301,7 @@ func TestJoinTransfersState(t *testing.T) {
 	})
 	tb.addClient(geo.Point{X: 1, Y: -1}, vi.ClientFunc(
 		func(vr int, recv []vi.Message, coll bool) *vi.Message {
-			return &vi.Message{Payload: fmt.Sprintf("ping-%03d", vr)}
+			return vi.Text(fmt.Sprintf("ping-%03d", vr))
 		}))
 	tb.runVRounds(5)
 
@@ -295,8 +325,8 @@ func TestJoinTransfersState(t *testing.T) {
 	}
 	tb.runVRounds(3)
 	// The latecomer now computes the same state as the old replicas.
-	want := tb.emulators[0].StateBefore(13)
-	if got := late.StateBefore(13); got != want {
+	want := string(tb.emulators[0].StateBefore(13))
+	if got := string(late.StateBefore(13)); got != want {
 		t.Error("joined replica's state diverges from existing replicas")
 	}
 }
@@ -439,8 +469,17 @@ func TestRegionOf(t *testing.T) {
 	}
 }
 
-// decodeTestState decodes a gob-encoded state produced by Codec.
-func decodeTestState(t *testing.T, raw string, out *counterState) {
+// decodeTestState decodes a wire-encoded counter state produced by
+// counterProgram's codec.
+func decodeTestState(t *testing.T, raw []byte, out *counterState) {
 	t.Helper()
-	decodeGob(t, raw, out)
+	d := wire.Dec(raw)
+	s, err := decodeCounterState(&d)
+	if err == nil {
+		err = d.Finish()
+	}
+	if err != nil {
+		t.Fatalf("decode state: %v", err)
+	}
+	*out = s
 }

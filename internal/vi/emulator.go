@@ -1,6 +1,7 @@
 package vi
 
 import (
+	"bytes"
 	"fmt"
 
 	"vinfra/internal/cha"
@@ -137,10 +138,12 @@ type Emulator struct {
 	core   *cha.Core
 	cache  *stateCache
 
-	// Per-virtual-round scratch state.
+	// Per-virtual-round scratch state. input.Msgs reuses its backing array
+	// across virtual rounds (the encoded proposal copies the bytes out), so
+	// the steady-state message sub-protocol allocates nothing here.
 	input           RoundInput // accumulating message sub-protocol input
 	began           bool       // whether Begin was called this vround
-	expectedPayload string     // own VN's expected broadcast payload this vround
+	expectedPayload []byte     // own VN's expected broadcast payload this vround
 	broadcastBallot bool
 	sawJoinActivity bool // join request or collision in join/join-ack phases
 
@@ -181,7 +184,9 @@ func (e *Emulator) Core() *cha.Core { return e.core }
 
 // StateBefore returns the emulator's estimate of its virtual node's state
 // entering virtual round vr (1-based). It is only meaningful while joined.
-func (e *Emulator) StateBefore(vr int) string {
+// The returned slice is owned by the emulator's state cache; callers must
+// not mutate it.
+func (e *Emulator) StateBefore(vr int) []byte {
 	return e.cache.stateBefore(e.core.CalculateHistory(), vr)
 }
 
@@ -205,7 +210,7 @@ func (e *Emulator) leaveRegion() {
 
 // becomeReplica installs agreement and application state as of instance
 // floor, making the emulator a full replica.
-func (e *Emulator) becomeReplica(floor cha.Instance, state string, core *cha.Core) {
+func (e *Emulator) becomeReplica(floor cha.Instance, state []byte, core *cha.Core) {
 	e.core = core
 	e.cache = newStateCache(e.d.program(e.vn), e.vn, e.d.locs[e.vn])
 	e.cache.resetAt(floor, state)
@@ -306,11 +311,15 @@ func (e *Emulator) participating(vr int, sched bool) bool {
 }
 
 // startVRound resets per-round scratch state and re-evaluates the region.
+// input.Msgs keeps its backing array: Encode copies payload bytes into the
+// proposal value, so nothing alive refers to the old entries.
 func (e *Emulator) startVRound() {
 	e.checkRegion()
-	e.input = RoundInput{}
+	e.input.Msgs = e.input.Msgs[:0]
+	e.input.Collision = false
+	e.input.VNBroadcast = false
 	e.began = false
-	e.expectedPayload = ""
+	e.expectedPayload = nil
 	e.sawJoinActivity = false
 	e.requested = false
 	e.gotAck = false
@@ -330,6 +339,9 @@ func (e *Emulator) transmitVN(r sim.Round, vr int) sim.Message {
 		return nil
 	}
 	e.expectedPayload = out.Payload
+	if e.expectedPayload == nil {
+		e.expectedPayload = []byte{}
+	}
 	if !e.scheduled(vr) {
 		// The virtual node ignores its schedule; so do its replicas.
 		e.input.VNBroadcast = true
@@ -385,7 +397,7 @@ func (e *Emulator) Receive(r sim.Round, rx sim.Reception) {
 			if !ok {
 				continue
 			}
-			if vm.Payload == e.expectedPayload && e.expectedPayload != "" {
+			if e.expectedPayload != nil && bytes.Equal(vm.Payload, e.expectedPayload) {
 				e.input.VNBroadcast = true
 				continue
 			}

@@ -130,7 +130,7 @@ func TestJoinWhileChannelLossy(t *testing.T) {
 	}
 	// And its state converges with the incumbents.
 	tb.runVRounds(3)
-	if late.StateBefore(18) != tb.emulators[0].StateBefore(18) {
+	if string(late.StateBefore(18)) != string(tb.emulators[0].StateBefore(18)) {
 		t.Error("late joiner diverged after lossy join")
 	}
 }

@@ -60,7 +60,7 @@ func TestFullStackParallelDeterminism(t *testing.T) {
 		eng.Attach(geo.Point{X: 1, Y: -1.2}, nil, func(env sim.Env) sim.Node {
 			return dep.NewClient(env, vi.ClientFunc(
 				func(vr int, _ []vi.Message, _ bool) *vi.Message {
-					return &vi.Message{Payload: fmt.Sprintf("ping-%03d", vr)}
+					return vi.Text(fmt.Sprintf("ping-%03d", vr))
 				}))
 		})
 
@@ -70,7 +70,7 @@ func TestFullStackParallelDeterminism(t *testing.T) {
 		states := make([]string, len(emulators))
 		for i, em := range emulators {
 			if em.Joined() {
-				states[i] = em.StateBefore(vrounds + 1)
+				states[i] = string(em.StateBefore(vrounds + 1))
 			}
 		}
 		return states

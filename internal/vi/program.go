@@ -1,31 +1,35 @@
 package vi
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"vinfra/internal/cha"
 	"vinfra/internal/geo"
+	"vinfra/internal/wire"
 )
 
 // Program is a deterministic virtual node automaton (Section 1.2: virtual
-// nodes are deterministic). The protocol layer treats states as opaque
+// nodes are deterministic). The protocol layer treats states as opaque byte
 // strings so they can be digested, compared across replicas, and shipped in
-// join-acks; use Codec to write programs against typed states.
+// join-acks; use Codec to write programs against typed states with a
+// canonical wire encoding.
 //
 // Determinism is a correctness requirement: every replica must compute the
-// identical state from the identical history.
+// identical state bytes from the identical history. The wire codec makes
+// canonical encodings the default (a value has exactly one encoding);
+// programs that hand-encode states must preserve that property themselves.
+// States are immutable by convention: OnRound must return a fresh slice
+// rather than mutating its input.
 type Program interface {
 	// Init returns the virtual node's initial state.
-	Init(id VNodeID, loc geo.Point) string
+	Init(id VNodeID, loc geo.Point) []byte
 	// OnRound consumes the input of one virtual round — the agreed message
 	// set, or a collision indication when the round's agreement produced
 	// ⊥ — and returns the next state.
-	OnRound(state string, vround int, in RoundInput) string
+	OnRound(state []byte, vround int, in RoundInput) []byte
 	// Outgoing returns the message the virtual node broadcasts in virtual
 	// round vround, given the state entering that round, or nil to listen.
-	Outgoing(state string, vround int) *Message
+	Outgoing(state []byte, vround int) *Message
 }
 
 // stateCache incrementally materializes a virtual node's state from the
@@ -37,10 +41,10 @@ type stateCache struct {
 	id   VNodeID
 	loc  geo.Point
 
-	floorState string       // state at the floor instance (initial or join snapshot)
+	floorState []byte       // state at the floor instance (initial or join snapshot)
 	floor      cha.Instance // instances <= floor are folded into floorState
 
-	cachedState  string
+	cachedState  []byte
 	cachedUpTo   cha.Instance
 	cachedDigest uint64
 }
@@ -57,8 +61,8 @@ func newStateCache(prog Program, id VNodeID, loc geo.Point) *stateCache {
 }
 
 // resetAt installs a state snapshot at the given floor (join state
-// transfer, or a virtual node reset).
-func (sc *stateCache) resetAt(floor cha.Instance, state string) {
+// transfer, or a virtual node reset). The cache takes ownership of state.
+func (sc *stateCache) resetAt(floor cha.Instance, state []byte) {
 	sc.floor = floor
 	sc.floorState = state
 	sc.cachedState = state
@@ -68,8 +72,9 @@ func (sc *stateCache) resetAt(floor cha.Instance, state string) {
 
 // stateBefore returns the virtual node state entering virtual round vround
 // (i.e., after applying history through instance vround-1), given the
-// replica's current history estimate h.
-func (sc *stateCache) stateBefore(h *cha.History, vround int) string {
+// replica's current history estimate h. The returned slice is owned by the
+// cache; callers must not mutate it.
+func (sc *stateCache) stateBefore(h *cha.History, vround int) []byte {
 	upTo := cha.Instance(vround) - 1
 	if upTo < sc.floor {
 		// Cannot reconstruct below the snapshot; the snapshot itself is
@@ -96,7 +101,7 @@ func (sc *stateCache) stateBefore(h *cha.History, vround int) string {
 // applyInstance folds history position k into the state: an included
 // instance delivers its decoded round input; a ⊥ instance delivers a
 // collision indication (Section 3.3).
-func applyInstance(prog Program, state string, h *cha.History, k cha.Instance) string {
+func applyInstance(prog Program, state []byte, h *cha.History, k cha.Instance) []byte {
 	v, ok := h.At(k)
 	if !ok {
 		return prog.OnRound(state, int(k), RoundInput{Collision: true})
@@ -110,9 +115,17 @@ func applyInstance(prog Program, state string, h *cha.History, k cha.Instance) s
 	return prog.OnRound(state, int(k), in)
 }
 
-// Codec adapts a typed, gob-serializable state S to the Program string
-// interface. Step and Out receive decoded states; encoding errors panic,
-// since a non-serializable state type is a programming error.
+// Codec adapts a typed state S to the Program byte-string interface using
+// an explicit wire encoding. Step and Out receive decoded states; a nil or
+// malformed state encoding panics, since states only ever come from this
+// codec's own EncodeState (a decode failure is a programming error, not an
+// input condition).
+//
+// EncodeState must be canonical (equal states append equal bytes — true by
+// construction when it writes fields in a fixed order through
+// internal/wire) and DecodeState must consume exactly what EncodeState
+// wrote. The empty byte string decodes to S's zero value without calling
+// DecodeState.
 type Codec[S any] struct {
 	// InitState returns the initial typed state.
 	InitState func(id VNodeID, loc geo.Point) S
@@ -121,40 +134,60 @@ type Codec[S any] struct {
 	// Out computes the broadcast entering a virtual round (may be nil for
 	// always-silent nodes).
 	Out func(state S, vround int) *Message
+	// EncodeState appends state's canonical wire encoding to dst.
+	EncodeState func(dst []byte, state S) []byte
+	// DecodeState parses one state from d (the inverse of EncodeState).
+	DecodeState func(d *wire.Decoder) (S, error)
 }
 
 // Init implements Program.
-func (c Codec[S]) Init(id VNodeID, loc geo.Point) string {
-	return encodeState(c.InitState(id, loc))
+func (c Codec[S]) Init(id VNodeID, loc geo.Point) []byte {
+	return c.encode(c.InitState(id, loc))
 }
 
 // OnRound implements Program.
-func (c Codec[S]) OnRound(state string, vround int, in RoundInput) string {
-	return encodeState(c.Step(decodeState[S](state), vround, in))
+func (c Codec[S]) OnRound(state []byte, vround int, in RoundInput) []byte {
+	return c.encode(c.Step(c.decode(state), vround, in))
 }
 
 // Outgoing implements Program.
-func (c Codec[S]) Outgoing(state string, vround int) *Message {
+func (c Codec[S]) Outgoing(state []byte, vround int) *Message {
 	if c.Out == nil {
 		return nil
 	}
-	return c.Out(decodeState[S](state), vround)
+	return c.Out(c.decode(state), vround)
 }
 
-func encodeState[S any](s S) string {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
-		panic(fmt.Sprintf("vi: state encode: %v", err))
+// encode runs EncodeState through a pooled scratch buffer and returns an
+// exact-size copy: the scratch absorbs append growth (states are encoded
+// every round but retained long-term, so the retained copy should carry no
+// spare capacity), and the grown buffer goes back to the pool.
+func (c Codec[S]) encode(s S) []byte {
+	if c.EncodeState == nil {
+		panic("vi: Codec requires EncodeState (use GobCodec for reflection-based prototyping)")
 	}
-	return buf.String()
+	buf := wire.GetBuf()
+	enc := c.EncodeState(*buf, s)
+	out := append(make([]byte, 0, len(enc)), enc...)
+	*buf = enc[:0]
+	wire.PutBuf(buf)
+	return out
 }
 
-func decodeState[S any](raw string) S {
+func (c Codec[S]) decode(raw []byte) S {
 	var s S
-	if raw == "" {
+	if len(raw) == 0 {
 		return s
 	}
-	if err := gob.NewDecoder(bytes.NewReader([]byte(raw))).Decode(&s); err != nil {
+	if c.DecodeState == nil {
+		panic("vi: Codec requires DecodeState (use GobCodec for reflection-based prototyping)")
+	}
+	d := wire.Dec(raw)
+	s, err := c.DecodeState(&d)
+	if err == nil {
+		err = d.Finish()
+	}
+	if err != nil {
 		panic(fmt.Sprintf("vi: state decode: %v", err))
 	}
 	return s

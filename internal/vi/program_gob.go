@@ -1,0 +1,63 @@
+package vi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"vinfra/internal/geo"
+)
+
+// GobCodec is the explicit compatibility adapter for typed states without a
+// hand-written wire encoding: it serializes S with encoding/gob. It exists
+// for prototyping only — gob ships type descriptors, reflects, and
+// allocates on every encode, and it is only deterministic under conventions
+// (no maps, fixed field order) that the caller must uphold. Every shipped
+// program (internal/apps, examples/) uses Codec with a wire encoding
+// instead; nothing on the per-round path of this package touches gob.
+type GobCodec[S any] struct {
+	// InitState returns the initial typed state.
+	InitState func(id VNodeID, loc geo.Point) S
+	// Step folds one virtual round into the state.
+	Step func(state S, vround int, in RoundInput) S
+	// Out computes the broadcast entering a virtual round (may be nil for
+	// always-silent nodes).
+	Out func(state S, vround int) *Message
+}
+
+// Init implements Program.
+func (c GobCodec[S]) Init(id VNodeID, loc geo.Point) []byte {
+	return encodeGobState(c.InitState(id, loc))
+}
+
+// OnRound implements Program.
+func (c GobCodec[S]) OnRound(state []byte, vround int, in RoundInput) []byte {
+	return encodeGobState(c.Step(decodeGobState[S](state), vround, in))
+}
+
+// Outgoing implements Program.
+func (c GobCodec[S]) Outgoing(state []byte, vround int) *Message {
+	if c.Out == nil {
+		return nil
+	}
+	return c.Out(decodeGobState[S](state), vround)
+}
+
+func encodeGobState[S any](s S) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		panic(fmt.Sprintf("vi: gob state encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeGobState[S any](raw []byte) S {
+	var s S
+	if len(raw) == 0 {
+		return s
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&s); err != nil {
+		panic(fmt.Sprintf("vi: gob state decode: %v", err))
+	}
+	return s
+}

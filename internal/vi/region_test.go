@@ -13,9 +13,9 @@ import (
 // emulators are never exercised.
 type noopProgram struct{}
 
-func (noopProgram) Init(vi.VNodeID, geo.Point) string                   { return "" }
-func (noopProgram) OnRound(state string, _ int, _ vi.RoundInput) string { return state }
-func (noopProgram) Outgoing(string, int) *vi.Message                    { return nil }
+func (noopProgram) Init(vi.VNodeID, geo.Point) []byte                   { return nil }
+func (noopProgram) OnRound(state []byte, _ int, _ vi.RoundInput) []byte { return state }
+func (noopProgram) Outgoing([]byte, int) *vi.Message                    { return nil }
 
 // TestRegionOfMatchesLinearScan pins the cell-indexed RegionOf to a linear
 // scan applying the documented rule (nearest location within R1/4, exact

@@ -23,24 +23,42 @@ type Schedule struct {
 func ConflictThreshold(r geo.Radii) float64 { return r.R1 + 2*r.R2 }
 
 // BuildSchedule colors the conflict graph of the given virtual-node
-// locations greedily (in index order) and returns the schedule.
+// locations greedily (in index order) and returns the schedule. One
+// []bool slot-mark buffer is reused across nodes (marks are cleared by
+// walking the neighbor list again, so each node costs O(degree), not
+// O(max slot)); the produced coloring is identical to the textbook
+// smallest-free-slot greedy pass.
 func BuildSchedule(locs []geo.Point, radii geo.Radii) Schedule {
 	adj := geo.NeighborGraph(locs, ConflictThreshold(radii))
 	slotOf := make([]int, len(locs))
 	for i := range slotOf {
 		slotOf[i] = -1
 	}
+	// A node with degree d has at most d occupied neighbor slots, so slot
+	// indexes never exceed the maximum degree; +1 covers the probe past
+	// the last occupied slot.
+	maxDeg := 0
+	for _, ns := range adj {
+		if len(ns) > maxDeg {
+			maxDeg = len(ns)
+		}
+	}
+	used := make([]bool, maxDeg+1)
 	maxSlot := -1
 	for v := range locs {
-		used := make(map[int]bool, len(adj[v]))
 		for _, u := range adj[v] {
-			if slotOf[u] >= 0 {
-				used[slotOf[u]] = true
+			if s := slotOf[u]; s >= 0 {
+				used[s] = true
 			}
 		}
 		slot := 0
 		for used[slot] {
 			slot++
+		}
+		for _, u := range adj[v] {
+			if s := slotOf[u]; s >= 0 {
+				used[s] = false
+			}
 		}
 		slotOf[v] = slot
 		if slot > maxSlot {

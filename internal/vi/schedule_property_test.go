@@ -88,3 +88,57 @@ func TestTimingDecomposeBijection(t *testing.T) {
 		}
 	}
 }
+
+// buildScheduleReference is the original map-based greedy coloring: for
+// each node in index order, collect the neighbor slots in a map and take
+// the smallest free slot. BuildSchedule replaced the per-node map with a
+// reusable []bool mark buffer; this reference pins that the produced
+// coloring is bit-identical.
+func buildScheduleReference(locs []geo.Point, radii geo.Radii) []int {
+	adj := geo.NeighborGraph(locs, ConflictThreshold(radii))
+	slotOf := make([]int, len(locs))
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	for v := range locs {
+		used := make(map[int]bool, len(adj[v]))
+		for _, u := range adj[v] {
+			if slotOf[u] >= 0 {
+				used[slotOf[u]] = true
+			}
+		}
+		slot := 0
+		for used[slot] {
+			slot++
+		}
+		slotOf[v] = slot
+	}
+	return slotOf
+}
+
+// Property: the slot-mark-buffer coloring equals the map-based greedy
+// coloring on arbitrary deployments — the buffer reuse is a pure
+// optimization, not a schedule change.
+func TestBuildScheduleMatchesMapReference(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		r := rand.New(rand.NewSource(int64(seed)))
+		locs := make([]geo.Point, n)
+		for i := range locs {
+			// Dense enough that conflict degrees get large.
+			locs[i] = geo.Point{X: r.Float64() * 60, Y: r.Float64() * 60}
+		}
+		s := BuildSchedule(locs, testRadii)
+		want := buildScheduleReference(locs, testRadii)
+		for v := range locs {
+			if s.SlotOf(VNodeID(v)) != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

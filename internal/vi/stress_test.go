@@ -82,7 +82,7 @@ func TestVIAgreementUnderLossManySeeds(t *testing.T) {
 		eng.Attach(geo.Point{X: 1, Y: -1.3}, nil, func(env sim.Env) sim.Node {
 			return dep.NewClient(env, vi.ClientFunc(
 				func(vr int, _ []vi.Message, _ bool) *vi.Message {
-					return &vi.Message{Payload: fmt.Sprintf("ping-%03d", vr)}
+					return vi.Text(fmt.Sprintf("ping-%03d", vr))
 				}))
 		})
 
@@ -98,7 +98,7 @@ func TestVIAgreementUnderLossManySeeds(t *testing.T) {
 				if em.VNode() != vi.VNodeID(v) || !em.Joined() {
 					continue
 				}
-				got := em.StateBefore(31)
+				got := string(em.StateBefore(31))
 				if want == "" {
 					want = got
 				} else if got != want {
@@ -120,7 +120,7 @@ func TestVICrashStorm(t *testing.T) {
 	})
 	tb.addClient(geo.Point{X: 1.3, Y: -1}, vi.ClientFunc(
 		func(vr int, _ []vi.Message, _ bool) *vi.Message {
-			return &vi.Message{Payload: fmt.Sprintf("ping-%03d", vr)}
+			return vi.Text(fmt.Sprintf("ping-%03d", vr))
 		}))
 	per := tb.dep.Timing().RoundsPerVRound()
 
@@ -140,13 +140,13 @@ func TestVICrashStorm(t *testing.T) {
 	// The original leader survived (ID 0 is never crashed); replacements
 	// joined and agree with it.
 	joinedReplacements := 0
-	want := tb.emulators[0].StateBefore(100)
+	want := string(tb.emulators[0].StateBefore(100))
 	for i, em := range replacements {
 		if !em.Joined() {
 			continue
 		}
 		joinedReplacements++
-		if em.StateBefore(100) != want {
+		if string(em.StateBefore(100)) != want {
 			t.Errorf("replacement %d diverged", i)
 		}
 	}
@@ -154,7 +154,7 @@ func TestVICrashStorm(t *testing.T) {
 		t.Fatal("no replacement ever joined through the crash storm")
 	}
 	var st counterState
-	decodeTestState(t, want, &st)
+	decodeTestState(t, []byte(want), &st)
 	if st.Pings < 10 {
 		t.Errorf("virtual node lost history through the crash storm: %+v", st.Pings)
 	}

@@ -1,0 +1,44 @@
+package wire
+
+// Digest is a 64-bit FNV-1a digest usable as a running fold: every Fold*
+// method returns the digest extended by its argument, so chains like
+// NewDigest().FoldUint64(k).FoldBytes(v) hash compound values without any
+// hasher allocation (hash/fnv allocates a hash.Hash64 per use — too much
+// for the per-round paths that digest every history position).
+//
+// Digests computed once can be cached and folded into larger digests by
+// value (FoldUint64 of the cached digest), which is how cha.Value avoids
+// re-hashing full proposal bytes on every history digest.
+type Digest uint64
+
+const (
+	fnvOffset Digest = 14695981039346656037
+	fnvPrime  Digest = 1099511628211
+)
+
+// NewDigest returns the FNV-1a offset basis — the empty digest.
+func NewDigest() Digest { return fnvOffset }
+
+// DigestOf digests b in one pass.
+func DigestOf(b []byte) Digest { return NewDigest().FoldBytes(b) }
+
+// FoldByte extends the digest by one byte.
+func (d Digest) FoldByte(c byte) Digest {
+	return (d ^ Digest(c)) * fnvPrime
+}
+
+// FoldBytes extends the digest by b.
+func (d Digest) FoldBytes(b []byte) Digest {
+	for _, c := range b {
+		d = (d ^ Digest(c)) * fnvPrime
+	}
+	return d
+}
+
+// FoldUint64 extends the digest by x's eight little-endian bytes.
+func (d Digest) FoldUint64(x uint64) Digest {
+	for i := 0; i < 8; i++ {
+		d = (d ^ Digest(byte(x>>(8*i)))) * fnvPrime
+	}
+	return d
+}
