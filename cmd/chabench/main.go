@@ -1,4 +1,4 @@
-// Command chabench runs the reproduction experiment suite (E1–E12) through
+// Command chabench runs the reproduction experiment suite (E1–E13) through
 // the internal/harness registry: the paper's Figure 2, the
 // constant-overhead claims of Theorem 14, the Property 4 color invariant,
 // the correctness theorems, the Section 4 emulation overhead and churn
@@ -21,12 +21,14 @@
 //
 // Comparing against a committed baseline:
 //
-//	chabench -json -only E10,E11,E12 -seeds 1,2,3 -out bench.json
+//	chabench -json -only E10,E11,E12,E13 -seeds 1,2,3 -out bench.json
 //	chabench -compare bench.json                  # vs BENCH_BASELINE.json
 //	chabench -compare bench.json -calibrate -tolerance 0.30
 //
 // -compare exits 2 on usage errors, 1 when a gated cell regressed beyond
-// the tolerance, and 0 otherwise. -calibrate divides every ratio by the
+// the tolerance or when cells pinned by the baseline are absent from the
+// new report (lost coverage must fail loudly, not shrink the gate), and 0
+// otherwise. -calibrate divides every ratio by the
 // suite's median ratio, cancelling machine-speed differences when the
 // baseline was generated on different hardware (the CI setting).
 package main
@@ -38,14 +40,14 @@ import (
 	"strconv"
 	"strings"
 
-	_ "vinfra/internal/experiments" // registers E1..E12 descriptors
+	_ "vinfra/internal/experiments" // registers E1..E13 descriptors
 	"vinfra/internal/harness"
 )
 
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "run reduced parameter sweeps")
-		only     = flag.String("only", "", "run a subset: comma-separated groups (E1..E12) or sub-IDs (E2a)")
+		only     = flag.String("only", "", "run a subset: comma-separated groups (E1..E13) or sub-IDs (E2a)")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report instead of text tables")
 		outPath  = flag.String("out", "", "write output to a file instead of stdout")
 		seedsStr = flag.String("seeds", "", "comma-separated seed list replicated across every cell (default: per-experiment)")
@@ -162,6 +164,13 @@ func runCompare(curPath, basePath string, tolerance float64, calibrate bool, min
 		fmt.Println()
 		for _, r := range cmp.Regressions {
 			fmt.Printf("REGRESSION: %s\n", r)
+		}
+		if len(cmp.Dropped) > 0 {
+			fmt.Printf("MISSING COVERAGE: %d baseline cell(s) absent from %s — the gate would silently stop checking them (was an experiment dropped by a typo in -only, or a grid label renamed?):\n",
+				len(cmp.Dropped), curPath)
+			for _, d := range cmp.Dropped {
+				fmt.Printf("  %s\n", d)
+			}
 		}
 		return 1
 	}

@@ -31,7 +31,20 @@
 //     per-worker partition buffers are pooled, so steady-state delivery
 //     allocates only the message slices receivers actually get.
 //   - cd, cm: the model's collision detector classes and contention
-//     managers.
+//     managers. Both have exact-behavior unit tests under injected
+//     jamming: adversarial collision patterns produce precisely the
+//     detections (completeness on real losses, per-class handling of
+//     forced spurious indications) and backoff-window trajectories the
+//     model specifies.
+//   - faults: the deterministic adversary plane. Spatial jammers
+//     (CellJammer, RegionJammer) plug into radio.Config.Adversary and
+//     silence every receiver standing in a jammed cell or footprint;
+//     engine-level sim.Fault attacks (RegionWipe, CrashBurst, ChurnStorm,
+//     Herd) are consulted by the engine at the start of every round. All
+//     choices are pure hashes of (Seed, round, node/cell), so the same
+//     seed reproduces the same attack byte-for-byte, sequential or
+//     parallel. The package doc states the threat model and how to add an
+//     adversary.
 //   - wire: the deterministic byte-oriented codec behind the state plane:
 //     append-style varint/length-prefixed encodings into caller-supplied
 //     byte slices, canonical by construction (one encoding per value,
@@ -47,19 +60,25 @@
 //     EncodeState/DecodeState functions, and every protocol message's
 //     WireSize is the exact length of its encoding. encoding/gob is off
 //     the per-round path entirely (GobCodec remains as an explicit
-//     reflection-based compatibility adapter for prototyping).
+//     reflection-based compatibility adapter for prototyping). Monitor
+//     accounts per-virtual-node availability: green instances, maximal
+//     stalls and recovery latencies, with horizon-aware variants that
+//     count a silenced node as unavailable.
 //   - apps, baseline: applications on top of the infrastructure and the
 //     baselines the paper argues against. Application payloads and states
 //     are canonical wire encodings (a one-byte kind tag plus fixed field
 //     sequences) instead of hand-parsed prefix strings.
 //   - mobility, metrics: mobility models and table rendering.
-//   - experiments: the reproduction experiment suite E1–E12 — E11 "metro"
+//   - experiments: the reproduction experiment suite E1–E13 — E11 "metro"
 //     drives grids of virtual nodes through heavy churn (Leave, scheduled
 //     and late CrashAt, mid-run Attach) on the parallel grid-indexed
 //     stack, and E12 "state plane" measures per-virtual-round emulation
 //     cost (rounds, measured wire bytes, rounds/sec) at 9/25/49 virtual
-//     nodes. Every table registers a harness.Descriptor (parameter grid,
-//     seed list, typed rows) in its file's init.
+//     nodes, and E13 "adversary" sweeps faults attacks (jam, wipe, storm,
+//     burst) x intensity x deployment size, reporting availability,
+//     stalls and recovery latencies from vi.Monitor. Every table
+//     registers a harness.Descriptor (parameter grid, seed list, typed
+//     rows) in its file's init.
 //   - harness: the registry-based experiment runner. It fans
 //     experiment×parameter×seed cells out over a bounded worker pool,
 //     merges results deterministically (parallel output is byte-identical
@@ -85,7 +104,7 @@
 //	go test ./internal/sim/ -bench 'EngineStep' -benchtime 10x
 //	go test ./internal/vi/ -bench 'RegionOf' -benchtime 100000x
 //	go test ./internal/vi/ -bench 'EmulatorVRound' -benchtime 30x
-//	go run ./cmd/chabench -only E10,E11,E12
+//	go run ./cmd/chabench -only E10,E11,E12,E13
 //
 // Steady-state allocations per round are gated by tests (skipped under
 // -race): TestDeliverSteadyStateAllocs and TestEngineStepSteadyStateAllocs
@@ -100,20 +119,27 @@
 // # The perf trajectory and -compare workflow
 //
 // BENCH_BASELINE.json at the repo root is a committed chabench JSON report
-// (E10, E11 and E12, seeds 1–3) whose header notes the machine and commit
+// (E10–E13, seeds 1–3) whose header notes the machine and commit
 // it was generated on. To check a change against it:
 //
-//	go run ./cmd/chabench -json -only E10,E11,E12 -seeds 1,2,3 -out bench.json
+//	go run ./cmd/chabench -json -only E10,E11,E12,E13 -seeds 1,2,3 -out bench.json
 //	go run ./cmd/chabench -compare bench.json -calibrate -tolerance 0.30
 //
 // -compare matches cells by (experiment, cell, seed), computes wall-time
 // ratios, and exits nonzero when a cell slower than the noise floor
-// regressed beyond the tolerance. -calibrate divides every ratio by the
+// regressed beyond the tolerance — or when cells the baseline pins are
+// absent from the fresh report (lost coverage fails loudly instead of
+// silently shrinking the gate). -calibrate divides every ratio by the
 // suite-wide median ratio so a uniformly slower or faster machine (CI
 // runners vs the baseline host) doesn't trip the gate — only cells that
 // regressed relative to the rest of the suite do. CI runs exactly this
-// gate on every push, plus build/vet, gofmt, a Go 1.22/1.23 test matrix
-// and a -race job (.github/workflows/ci.yml).
+// gate on every push, plus build/vet, gofmt, golden-file freshness, a Go
+// 1.22/1.23 test matrix and a -race job (.github/workflows/ci.yml, with a
+// concurrency group cancelling superseded PR runs and one composite
+// toolchain-setup action shared by every job). A scheduled nightly
+// workflow (.github/workflows/nightly.yml) soaks full-grid E11+E13 across
+// seeds 1-5, fuzzes 3 minutes per target, and re-runs the adversary
+// determinism property tests under -race.
 //
 // After an intentional perf or result change, regenerate the baseline
 // (note the machine and commit in -note) and the experiments golden file

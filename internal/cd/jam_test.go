@@ -1,0 +1,151 @@
+package cd_test
+
+import (
+	"testing"
+
+	"vinfra/internal/cd"
+	"vinfra/internal/faults"
+	"vinfra/internal/geo"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+)
+
+// These tests drive the detector classes through a real radio.Medium under
+// an injected faults jammer: adversarial collision patterns must produce
+// exactly the per-round indications the model classes specify — real
+// losses fire every complete detector, forced (spurious) indications are
+// honored or suppressed exactly per class.
+
+var jamRadii = geo.Radii{R1: 10, R2: 20}
+
+// jammer saturates a 3-unit footprint around the receiver position (5, 0)
+// for the first 2 rounds of every 4-round cycle.
+func jammer() *faults.RegionJammer {
+	return &faults.RegionJammer{
+		Targets: []geo.Point{{X: 5}},
+		Radius:  3,
+		Period:  4,
+		Burst:   2,
+	}
+}
+
+func jamActive(r sim.Round) bool { return r%4 < 2 }
+
+// TestJammedLossFiresCompleteDetectors pins the ground-truth side: a
+// single uncontended in-range transmission is deliverable every round, so
+// in jammed rounds the loss is real (lostR1) and every complete detector
+// class must report ±, while in clean rounds the message arrives and the
+// accurate classes must stay silent.
+func TestJammedLossFiresCompleteDetectors(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		det      cd.Detector
+		wantJam  bool // indication in jammed rounds (real loss)
+		wantIdle bool // indication in clean rounds (no loss, no spurious)
+	}{
+		{"AC", cd.AC{}, true, false},
+		{"EventuallyAC", cd.EventuallyAC{Racc: 100}, true, false},
+		{"Complete", cd.Complete{}, true, false},
+		{"Null", cd.Null{}, false, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := radio.MustMedium(radio.Config{
+				Radii:     jamRadii,
+				Detector:  tc.det,
+				Adversary: jammer(),
+			})
+			txs := []sim.Transmission{{Sender: 0, From: geo.Point{X: 0}, Msg: "m"}}
+			rxs := []sim.NodeInfo{
+				{ID: 0, At: geo.Point{X: 0}, Alive: true},
+				{ID: 1, At: geo.Point{X: 5}, Alive: true},
+			}
+			for r := sim.Round(0); r < 20; r++ {
+				out := m.Deliver(r, txs, rxs)
+				got, wantMsg := out[1], 1
+				want := tc.wantIdle
+				if jamActive(r) {
+					want, wantMsg = tc.wantJam, 0
+				}
+				if len(got.Msgs) != wantMsg {
+					t.Fatalf("round %d: %d messages, want %d", r, len(got.Msgs), wantMsg)
+				}
+				if got.Collision != want {
+					t.Errorf("round %d: collision = %v, want %v", r, got.Collision, want)
+				}
+			}
+		})
+	}
+}
+
+// TestForcedIndicationHonoredOrSuppressed pins the spurious side: the
+// receiver is jammed but nothing is transmitting, so there is no loss at
+// all and the indication is purely the adversary's forced one. AC (always
+// accurate) must suppress it in every round; EventuallyAC must honor it
+// before Racc and suppress it from Racc on; Complete must honor it
+// forever; Null reports nothing.
+func TestForcedIndicationHonoredOrSuppressed(t *testing.T) {
+	const racc = 8
+	for _, tc := range []struct {
+		name string
+		det  cd.Detector
+		want func(r sim.Round) bool
+	}{
+		{"AC", cd.AC{}, func(sim.Round) bool { return false }},
+		{"EventuallyAC", cd.EventuallyAC{Racc: racc}, func(r sim.Round) bool {
+			return jamActive(r) && r < racc
+		}},
+		{"Complete", cd.Complete{}, jamActive},
+		{"Null", cd.Null{}, func(sim.Round) bool { return false }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := radio.MustMedium(radio.Config{
+				Radii:     jamRadii,
+				Detector:  tc.det,
+				Adversary: jammer(),
+			})
+			rxs := []sim.NodeInfo{{ID: 0, At: geo.Point{X: 5}, Alive: true}}
+			for r := sim.Round(0); r < 16; r++ {
+				out := m.Deliver(r, nil, rxs)
+				if len(out[0].Msgs) != 0 {
+					t.Fatalf("round %d: phantom messages %v", r, out[0].Msgs)
+				}
+				if got, want := out[0].Collision, tc.want(r); got != want {
+					t.Errorf("round %d: collision = %v, want %v", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestJamFootprintIsExact pins spatial scoping: a receiver outside the
+// jammer's footprint keeps hearing cleanly through every burst, on the
+// same medium whose in-footprint receiver is silenced.
+func TestJamFootprintIsExact(t *testing.T) {
+	m := radio.MustMedium(radio.Config{
+		Radii:     jamRadii,
+		Detector:  cd.AC{},
+		Adversary: jammer(),
+	})
+	// Sender at x=14: within R1 of the far receiver at x=9.5 (outside the
+	// 3-unit footprint around x=5) and within R1 of the jammed receiver at
+	// x=6 (inside it).
+	txs := []sim.Transmission{{Sender: 0, From: geo.Point{X: 14}, Msg: "m"}}
+	rxs := []sim.NodeInfo{
+		{ID: 0, At: geo.Point{X: 14}, Alive: true},
+		{ID: 1, At: geo.Point{X: 6}, Alive: true},
+		{ID: 2, At: geo.Point{X: 9.5}, Alive: true},
+	}
+	for r := sim.Round(0); r < 12; r++ {
+		out := m.Deliver(r, txs, rxs)
+		if len(out[2].Msgs) != 1 || out[2].Collision {
+			t.Errorf("round %d: out-of-footprint receiver disturbed: %+v", r, out[2])
+		}
+		wantMsgs, wantCol := 1, false
+		if jamActive(r) {
+			wantMsgs, wantCol = 0, true
+		}
+		if len(out[1].Msgs) != wantMsgs || out[1].Collision != wantCol {
+			t.Errorf("round %d: in-footprint receiver: %+v", r, out[1])
+		}
+	}
+}

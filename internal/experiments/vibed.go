@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"vinfra/internal/cd"
 	"vinfra/internal/cha"
@@ -45,16 +44,15 @@ func viCounterProgram(sched vi.Schedule) func(vi.VNodeID) vi.Program {
 	}
 }
 
-// viBed is a full virtual infrastructure deployment wired for measurement.
+// viBed is a full virtual infrastructure deployment wired for measurement:
+// every emulator output feeds the availability monitor, so each experiment
+// reads availability, stalls and recovery latencies off bed.mon.
 type viBed struct {
 	eng        *sim.Engine
 	dep        *vi.Deployment
+	mon        *vi.Monitor
 	emulators  []*vi.Emulator
 	setLeaders []func(sim.NodeID) // per-vnode leader handoff (fixedLeader only)
-
-	mu     sync.Mutex
-	greens map[vi.VNodeID]map[cha.Instance]bool // instances with >= 1 green replica
-	total  map[vi.VNodeID]cha.Instance
 }
 
 // setLeader hands virtual node v's leadership to node id (fixedLeader beds
@@ -121,9 +119,8 @@ func newVIBed(o viBedOpts) *viBed {
 	bed := &viBed{
 		eng:        sim.NewEngine(medium, engOpts...),
 		dep:        dep,
+		mon:        vi.NewMonitor(),
 		setLeaders: setLeaders,
-		greens:     make(map[vi.VNodeID]map[cha.Instance]bool),
-		total:      make(map[vi.VNodeID]cha.Instance),
 	}
 	for v, loc := range o.locs {
 		for i := 0; i < o.replicasPer; i++ {
@@ -135,30 +132,15 @@ func newVIBed(o viBedOpts) *viBed {
 	return bed
 }
 
-// recordOutput tracks per-virtual-node green instances for availability.
-func (b *viBed) recordOutput(v vi.VNodeID, out cha.Output) {
-	b.mu.Lock()
-	if b.greens[v] == nil {
-		b.greens[v] = make(map[cha.Instance]bool)
-	}
-	if out.Color == cha.Green {
-		b.greens[v][out.Instance] = true
-	}
-	if out.Instance > b.total[v] {
-		b.total[v] = out.Instance
-	}
-	b.mu.Unlock()
-}
-
 // attachEmulator adds an emulator (optionally bootstrapped) with green
 // tracking hooks merged with the given extra hooks, and returns it.
 func (b *viBed) attachEmulator(pos geo.Point, bootstrap bool, extra ...vi.EmulatorHooks) *vi.Emulator {
 	var em *vi.Emulator
-	hooks := vi.EmulatorHooks{OnOutput: b.recordOutput}
+	hooks := vi.EmulatorHooks{OnOutput: b.mon.Observe}
 	if len(extra) > 0 {
 		x := extra[0]
 		hooks.OnOutput = func(v vi.VNodeID, out cha.Output) {
-			b.recordOutput(v, out)
+			b.mon.Observe(v, out)
 			if x.OnOutput != nil {
 				x.OnOutput(v, out)
 			}
@@ -192,19 +174,10 @@ func (b *viBed) runVRounds(n int) {
 // availability returns the fraction of virtual rounds in which at least
 // one replica of virtual node v reached green.
 func (b *viBed) availability(v vi.VNodeID) float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.total[v] == 0 {
-		return 0
-	}
-	return float64(len(b.greens[v])) / float64(b.total[v])
+	return b.mon.Report(v).Availability
 }
 
 // meanAvailability averages availability over all virtual nodes.
 func (b *viBed) meanAvailability() float64 {
-	sum := 0.0
-	for v := 0; v < b.dep.NumVNodes(); v++ {
-		sum += b.availability(vi.VNodeID(v))
-	}
-	return sum / float64(b.dep.NumVNodes())
+	return b.mon.Summary(b.dep.NumVNodes()).MeanAvailability
 }

@@ -47,13 +47,23 @@ type Comparison struct {
 	Regressions []string // human-readable gate failures
 	Drift       []string // deterministic result mismatches (warnings)
 	Missing     []string // cells present in only one report
+	// Dropped is the subset of Missing present in the baseline but absent
+	// from the current report: coverage the gate silently lost (e.g. an
+	// experiment dropped by a typo in -only, or a renamed grid label).
+	// Dropped cells fail the gate; cells only the current run has are new
+	// coverage and stay a warning.
+	Dropped []string
 }
 
 // OK reports whether the perf gate passed. A comparison that matched no
 // cells at all (disjoint cell sets — e.g. a renamed grid label or a
 // baseline generated with different -only/-seeds) is NOT ok: a vacuous
 // gate must fail loudly rather than stay green while checking nothing.
-func (c *Comparison) OK() bool { return len(c.Deltas) > 0 && len(c.Regressions) == 0 }
+// Neither is one that lost baseline cells (Dropped): every cell the
+// baseline pins must still be exercised.
+func (c *Comparison) OK() bool {
+	return len(c.Deltas) > 0 && len(c.Regressions) == 0 && len(c.Dropped) == 0
+}
 
 // Table renders the comparison as a metrics table.
 func (c *Comparison) Table(tolerance float64) *metrics.Table {
@@ -135,9 +145,11 @@ func Compare(base, cur *Report, o CompareOptions) *Comparison {
 	for key := range baseIdx {
 		if !seen[key] {
 			cmp.Missing = append(cmp.Missing, key+" (not in current run)")
+			cmp.Dropped = append(cmp.Dropped, key)
 		}
 	}
 	sort.Strings(cmp.Missing)
+	sort.Strings(cmp.Dropped)
 
 	// The calibration divisor comes from gated cells only: sub-floor cell
 	// timings are noise and must not skew the median applied to the cells

@@ -107,6 +107,40 @@ func TestCompareSubFloorBaselineStillGatesBigRegression(t *testing.T) {
 	}
 }
 
+func TestCompareFailsOnDroppedBaselineCells(t *testing.T) {
+	// A cell the baseline pins that the current run no longer produces
+	// (e.g. an experiment dropped by a typo in -only) must fail the gate
+	// even though every matched cell is clean — and the dropped cells must
+	// be named.
+	base := report(map[string]float64{"a": 1.0, "b": 1.0, "c": 1.0}, nil)
+	cur := report(map[string]float64{"a": 1.0, "b": 1.0}, nil)
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if cmp.OK() {
+		t.Fatal("comparison with a dropped baseline cell reported OK")
+	}
+	if len(cmp.Regressions) != 0 {
+		t.Errorf("dropped cell misreported as regression: %v", cmp.Regressions)
+	}
+	if len(cmp.Dropped) != 1 || cmp.Dropped[0] != "EX/c/seed=1" {
+		t.Errorf("dropped = %v, want [EX/c/seed=1]", cmp.Dropped)
+	}
+}
+
+func TestCompareExtraCurrentCellsStillPass(t *testing.T) {
+	// New coverage the baseline does not know about is a warning, not a
+	// failure: it shows up in Missing but not in Dropped.
+	base := report(map[string]float64{"a": 1.0, "b": 1.0}, nil)
+	cur := report(map[string]float64{"a": 1.0, "b": 1.0, "c": 1.0}, nil)
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if !cmp.OK() {
+		t.Fatalf("extra current-only cell failed the gate: regressions=%v dropped=%v",
+			cmp.Regressions, cmp.Dropped)
+	}
+	if len(cmp.Missing) != 1 || len(cmp.Dropped) != 0 {
+		t.Errorf("missing = %v, dropped = %v", cmp.Missing, cmp.Dropped)
+	}
+}
+
 func TestCompareReportsDriftAndMissing(t *testing.T) {
 	base := report(
 		map[string]float64{"a": 1.0, "b": 1.0},

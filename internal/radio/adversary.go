@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"vinfra/internal/geo"
 	"vinfra/internal/sim"
 )
 
@@ -9,12 +10,12 @@ import (
 type None struct{}
 
 // Filter implements Adversary.
-func (None) Filter(_ sim.Round, _ sim.NodeID, deliverable []sim.Transmission) []sim.Transmission {
+func (None) Filter(_ sim.Round, _ sim.NodeID, _ geo.Point, deliverable []sim.Transmission) []sim.Transmission {
 	return deliverable
 }
 
 // ForceCollision implements Adversary.
-func (None) ForceCollision(sim.Round, sim.NodeID) bool { return false }
+func (None) ForceCollision(sim.Round, sim.NodeID, geo.Point) bool { return false }
 
 // RandomLoss drops each deliverable message independently with probability
 // P, and forces a spurious collision indication with probability
@@ -45,11 +46,11 @@ func NewRandomLoss(p, collisionP float64, until sim.Round, seed int64) *RandomLo
 // u01 returns the deterministic uniform [0,1) draw for one
 // (round, receiver, sender) triple.
 func (a *RandomLoss) u01(r sim.Round, receiver sim.NodeID, sender int64) float64 {
-	return float64(hashKeys(a.seed, int64(r), int64(receiver), sender)>>11) / (1 << 53)
+	return U01(HashKeys(a.seed, int64(r), int64(receiver), sender))
 }
 
 // Filter implements Adversary.
-func (a *RandomLoss) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Transmission) []sim.Transmission {
+func (a *RandomLoss) Filter(r sim.Round, receiver sim.NodeID, _ geo.Point, deliverable []sim.Transmission) []sim.Transmission {
 	if r >= a.until || a.p <= 0 || len(deliverable) == 0 {
 		return deliverable
 	}
@@ -63,7 +64,7 @@ func (a *RandomLoss) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.
 }
 
 // ForceCollision implements Adversary.
-func (a *RandomLoss) ForceCollision(r sim.Round, receiver sim.NodeID) bool {
+func (a *RandomLoss) ForceCollision(r sim.Round, receiver sim.NodeID, _ geo.Point) bool {
 	if r >= a.until || a.collisionP <= 0 {
 		return false
 	}
@@ -118,7 +119,7 @@ func (s *Script) Collide(r sim.Round, receiver sim.NodeID) *Script {
 }
 
 // Filter implements Adversary.
-func (s *Script) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Transmission) []sim.Transmission {
+func (s *Script) Filter(r sim.Round, receiver sim.NodeID, _ geo.Point, deliverable []sim.Transmission) []sim.Transmission {
 	k := scriptKey{round: r, receiver: receiver}
 	if s.dropAll[k] {
 		return nil
@@ -137,7 +138,7 @@ func (s *Script) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Tran
 }
 
 // ForceCollision implements Adversary.
-func (s *Script) ForceCollision(r sim.Round, receiver sim.NodeID) bool {
+func (s *Script) ForceCollision(r sim.Round, receiver sim.NodeID, _ geo.Point) bool {
 	return s.collide[scriptKey{round: r, receiver: receiver}]
 }
 
@@ -160,7 +161,7 @@ func NewPartition(until sim.Round, ids ...sim.NodeID) *Partition {
 }
 
 // Filter implements Adversary.
-func (p *Partition) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Transmission) []sim.Transmission {
+func (p *Partition) Filter(r sim.Round, receiver sim.NodeID, _ geo.Point, deliverable []sim.Transmission) []sim.Transmission {
 	if r >= p.Until {
 		return deliverable
 	}
@@ -175,24 +176,24 @@ func (p *Partition) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.T
 }
 
 // ForceCollision implements Adversary.
-func (p *Partition) ForceCollision(sim.Round, sim.NodeID) bool { return false }
+func (p *Partition) ForceCollision(sim.Round, sim.NodeID, geo.Point) bool { return false }
 
 // Compose chains adversaries: each Filter output feeds the next, and a
 // forced collision from any member is forced.
 type Compose []Adversary
 
 // Filter implements Adversary.
-func (c Compose) Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Transmission) []sim.Transmission {
+func (c Compose) Filter(r sim.Round, receiver sim.NodeID, at geo.Point, deliverable []sim.Transmission) []sim.Transmission {
 	for _, a := range c {
-		deliverable = a.Filter(r, receiver, deliverable)
+		deliverable = a.Filter(r, receiver, at, deliverable)
 	}
 	return deliverable
 }
 
 // ForceCollision implements Adversary.
-func (c Compose) ForceCollision(r sim.Round, receiver sim.NodeID) bool {
+func (c Compose) ForceCollision(r sim.Round, receiver sim.NodeID, at geo.Point) bool {
 	for _, a := range c {
-		if a.ForceCollision(r, receiver) {
+		if a.ForceCollision(r, receiver, at) {
 			return true
 		}
 	}

@@ -46,14 +46,16 @@ import (
 // randomness deterministically from (round, receiver) as RandomLoss does.
 type Adversary interface {
 	// Filter returns the subset of deliverable transmissions actually
-	// delivered to receiver in round r. deliverable never includes the
-	// receiver's own transmission (a node always hears itself).
-	// Implementations must not mutate deliverable; they may return it
-	// unchanged.
-	Filter(r sim.Round, receiver sim.NodeID, deliverable []sim.Transmission) []sim.Transmission
+	// delivered to the receiver (currently located at) in round r.
+	// deliverable never includes the receiver's own transmission (a node
+	// always hears itself). Implementations must not mutate deliverable;
+	// they may return it unchanged. The position lets spatial adversaries
+	// (the jammers of internal/faults) target grid cells and regions
+	// rather than node identities.
+	Filter(r sim.Round, receiver sim.NodeID, at geo.Point, deliverable []sim.Transmission) []sim.Transmission
 	// ForceCollision reports whether to request a spurious collision
-	// indication at receiver in round r.
-	ForceCollision(r sim.Round, receiver sim.NodeID) bool
+	// indication at the receiver (located at) in round r.
+	ForceCollision(r sim.Round, receiver sim.NodeID, at geo.Point) bool
 }
 
 // DeliveryMode selects how the medium finds the transmissions relevant to
@@ -375,8 +377,8 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, s *deliverScratch,
 	delivered := deliverable
 	spurious := false
 	if adv := m.cfg.Adversary; adv != nil {
-		delivered = adv.Filter(r, rx.ID, deliverable)
-		spurious = adv.ForceCollision(r, rx.ID)
+		delivered = adv.Filter(r, rx.ID, rx.At, deliverable)
+		spurious = adv.ForceCollision(r, rx.ID, rx.At)
 	}
 
 	// Ground truth for the collision detector: a loss is any transmission
@@ -434,11 +436,13 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// hashKeys folds keys through the SplitMix64 finalizer into one well-spread
-// value. It is the package's single keyed-hash primitive: the medium's
-// per-receiver RNG seeds and RandomLoss's per-message draws both derive
-// from it, so their determinism contracts stay in lockstep.
-func hashKeys(keys ...int64) uint64 {
+// HashKeys folds keys through the SplitMix64 finalizer into one well-spread
+// value. It is the single keyed-hash primitive of the deterministic stack:
+// the medium's per-receiver RNG seeds, RandomLoss's per-message draws and
+// the internal/faults adversaries' choices all derive from it, so their
+// determinism contracts stay in lockstep (and cannot silently drift apart
+// across copies).
+func HashKeys(keys ...int64) uint64 {
 	var h uint64
 	for _, k := range keys {
 		h = mix64(h ^ (uint64(k) + 0x9e3779b97f4a7c15))
@@ -446,7 +450,15 @@ func hashKeys(keys ...int64) uint64 {
 	return h
 }
 
+// U01 maps a HashKeys value to a uniform draw in [0, 1) — the other half
+// of the stack's keyed-randomness primitive, shared for the same reason:
+// RandomLoss's drop draws and the internal/faults adversaries' probability
+// draws must use one mapping that cannot drift apart across copies.
+func U01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
 // receiverSeed derives the RNG seed for one receiver in one round.
 func receiverSeed(seed int64, r sim.Round, id sim.NodeID) int64 {
-	return int64(hashKeys(seed, int64(r), int64(id)))
+	return int64(HashKeys(seed, int64(r), int64(id)))
 }

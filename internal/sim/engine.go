@@ -17,13 +17,14 @@ type Engine struct {
 	parallel bool
 	workers  int
 
-	round Round
-	nodes []*nodeState // indexed by NodeID
-	alive []*nodeState // alive nodes in NodeID order; see compactAlive
-	dirty bool         // a node died since alive was last compacted
-	crash map[Round][]NodeID
-	hooks []RoundHook
-	stats Stats
+	round  Round
+	nodes  []*nodeState // indexed by NodeID
+	alive  []*nodeState // alive nodes in NodeID order; see compactAlive
+	dirty  bool         // a node died since alive was last compacted
+	crash  map[Round][]NodeID
+	hooks  []RoundHook
+	faults []Fault
+	stats  Stats
 
 	// Reusable per-round buffers: the steady-state round loop allocates
 	// nothing of its own.
@@ -49,6 +50,33 @@ type Engine struct {
 // the slices are only valid for the duration of the call — the engine and
 // medium reuse them the next round, so copy anything worth keeping.
 type RoundHook func(r Round, txs []Transmission, rxs []Reception)
+
+// Control is the narrow engine surface handed to a Fault: enough to observe
+// the deployment and to crash, relocate or schedule failures, but not to
+// drive rounds. NodeIDs are dense in [0, NumNodes()).
+type Control interface {
+	NumNodes() int
+	Alive(id NodeID) bool
+	AliveCount() int
+	Position(id NodeID) geo.Point
+	Crash(id NodeID)
+	CrashAt(id NodeID, r Round)
+	Leave(id NodeID)
+	SetPosition(id NodeID, p geo.Point)
+}
+
+// Fault is an engine-level adversary: the engine consults every registered
+// fault at the start of each round, before scheduled crashes and mobility,
+// so a fault's crashes and relocations take effect in the round they strike.
+// Faults run sequentially in registration order on the engine's goroutine
+// (never concurrently), so a deterministic Strike keeps the whole run
+// deterministic; implementations in internal/faults derive all randomness
+// from (seed, round, node) hashes. A Strike may also attach new nodes
+// through an Engine reference it closed over — equivalent to attaching
+// between rounds, the mid-run join path the churn experiments already use.
+type Fault interface {
+	Strike(r Round, ctl Control)
+}
 
 // Stats accumulates engine-level measurements used by the experiment
 // harness (the abstract cost model of Theorem 14).
@@ -77,6 +105,8 @@ func (e *nodeEnv) ID() NodeID          { return e.st.id }
 func (e *nodeEnv) Location() geo.Point { return e.st.pos }
 func (e *nodeEnv) Intn(n int) int      { return e.st.rng.Intn(n) }
 func (e *nodeEnv) Float64() float64    { return e.st.rng.Float64() }
+
+var _ Control = (*Engine)(nil)
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -245,6 +275,15 @@ func (e *Engine) OnRound(h RoundHook) {
 	e.hooks = append(e.hooks, h)
 }
 
+// AddFault registers an engine-level adversary consulted at the start of
+// every round, in registration order. See Fault.
+func (e *Engine) AddFault(f Fault) {
+	if f == nil {
+		panic("sim: AddFault called with nil Fault")
+	}
+	e.faults = append(e.faults, f)
+}
+
 // Stats returns a copy of the accumulated engine statistics.
 func (e *Engine) Stats() Stats {
 	return e.stats
@@ -269,6 +308,16 @@ func (e *Engine) Run(n int) {
 // dead entries frozen at their final position.
 func (e *Engine) Step() {
 	r := e.round
+
+	// Faults strike first, before the round counter advances: anything
+	// they crash (or CrashAt for r, applied immediately) is dead before
+	// this round's mobility and transmissions, anything they attach
+	// participates from this round on, and CrashAt(id, r+1) schedules for
+	// the next round rather than collapsing into an immediate crash.
+	for _, f := range e.faults {
+		f.Strike(r, e)
+	}
+
 	e.round++
 	e.curRound = r
 

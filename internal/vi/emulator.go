@@ -297,7 +297,15 @@ func (e *Emulator) Transmit(r sim.Round) sim.Message {
 		}
 		return nil
 	default: // PhaseReset
-		if e.joined && e.sawJoinActivity {
+		// The guard is schedule-gated like the join sub-protocol it
+		// protects: joiners of virtual node v request (and reset) only in
+		// v's slot, and only v's own replicas must veto the reset. An
+		// unscheduled replica that heard a neighboring region's join
+		// collision must stay silent — guarding here would block the
+		// legitimate reset of a fully-wiped neighbor forever (every region
+		// of a dense deployment sits within the others' interference
+		// radius, so the stray ± reaches everyone).
+		if e.joined && e.sawJoinActivity && e.scheduled(vr) {
 			return ResetGuardMsg{}
 		}
 		return nil

@@ -1,0 +1,199 @@
+package vi
+
+import (
+	"sync"
+
+	"vinfra/internal/cha"
+)
+
+// Monitor accumulates per-virtual-node availability from replica outputs:
+// which agreement instances (= virtual rounds) reached green on at least one
+// replica, and — derived from that — exactly when and for how long each
+// virtual node was unavailable. It is the measurement half of the adversary
+// plane: experiments wire Observe into EmulatorHooks.OnOutput and read the
+// per-node reports (or the deployment-wide summary) after the run.
+//
+// Observe is safe for concurrent use: the parallel engine fans Receive calls
+// (and therefore output hooks) across workers. Accumulation is a set union,
+// so the reports are independent of observation order — the same determinism
+// contract as the rest of the stack (sequential == parallel).
+type Monitor struct {
+	mu     sync.Mutex
+	greens map[VNodeID]map[cha.Instance]bool
+	top    map[VNodeID]cha.Instance
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		greens: make(map[VNodeID]map[cha.Instance]bool),
+		top:    make(map[VNodeID]cha.Instance),
+	}
+}
+
+// Observe records one replica's output for virtual node v. Wire it into
+// EmulatorHooks.OnOutput.
+func (m *Monitor) Observe(v VNodeID, out cha.Output) {
+	m.mu.Lock()
+	if out.Color == cha.Green {
+		g := m.greens[v]
+		if g == nil {
+			g = make(map[cha.Instance]bool)
+			m.greens[v] = g
+		}
+		g[out.Instance] = true
+	}
+	if out.Instance > m.top[v] {
+		m.top[v] = out.Instance
+	}
+	m.mu.Unlock()
+}
+
+// Stall is one maximal run of consecutive unavailable instances of a
+// virtual node: no replica reached green from instance From through
+// From+Len-1. Ended reports whether the node recovered (the next instance
+// was green again) before the end of the run; a stall still open at the
+// horizon has Ended false, and its length is a lower bound.
+type Stall struct {
+	From  cha.Instance
+	Len   int
+	Ended bool
+}
+
+// AvailabilityReport is one virtual node's availability accounting.
+type AvailabilityReport struct {
+	// Instances is the highest instance observed (instance k is virtual
+	// round k, so this is the number of virtual rounds accounted).
+	Instances int
+	// Green is the number of instances in which >= 1 replica output green.
+	Green int
+	// Unavailable = Instances - Green.
+	Unavailable int
+	// Availability = Green / Instances (0 when nothing was observed).
+	Availability float64
+	// Stalls lists the maximal unavailable runs in instance order.
+	Stalls []Stall
+	// MaxStall is the longest stall length (0 when always available).
+	MaxStall int
+	// MeanRecovery is the mean length of the stalls the node recovered
+	// from — the expected number of virtual rounds from losing the node to
+	// getting it back. 0 when no stall ended.
+	MeanRecovery float64
+}
+
+// Report computes virtual node v's availability accounting over the
+// instances it was actually observed through. When an attack can silence a
+// node entirely (no replica left to output anything), use ReportThrough
+// with the run's horizon instead: instances past the last observation
+// count as unavailable there, not unobserved.
+func (m *Monitor) Report(v VNodeID) AvailabilityReport {
+	m.mu.Lock()
+	top := int(m.top[v])
+	m.mu.Unlock()
+	return m.ReportThrough(v, top)
+}
+
+// ReportThrough computes virtual node v's availability accounting over
+// instances 1..through: an instance no replica reached green in — including
+// one no replica reported at all — is unavailable.
+func (m *Monitor) ReportThrough(v VNodeID, through int) AvailabilityReport {
+	m.mu.Lock()
+	top := through
+	greens := make([]bool, top+1)
+	for k := range m.greens[v] {
+		if int(k) <= top {
+			greens[k] = true
+		}
+	}
+	m.mu.Unlock()
+
+	rep := AvailabilityReport{Instances: top}
+	run := 0
+	for k := 1; k <= top; k++ {
+		if greens[k] {
+			rep.Green++
+			if run > 0 {
+				rep.Stalls = append(rep.Stalls, Stall{
+					From: cha.Instance(k - run), Len: run, Ended: true,
+				})
+				run = 0
+			}
+			continue
+		}
+		run++
+	}
+	if run > 0 {
+		rep.Stalls = append(rep.Stalls, Stall{
+			From: cha.Instance(top + 1 - run), Len: run,
+		})
+	}
+	rep.Unavailable = rep.Instances - rep.Green
+	if rep.Instances > 0 {
+		rep.Availability = float64(rep.Green) / float64(rep.Instances)
+	}
+	recovered, recoveredLen := 0, 0
+	for _, s := range rep.Stalls {
+		if s.Len > rep.MaxStall {
+			rep.MaxStall = s.Len
+		}
+		if s.Ended {
+			recovered++
+			recoveredLen += s.Len
+		}
+	}
+	if recovered > 0 {
+		rep.MeanRecovery = float64(recoveredLen) / float64(recovered)
+	}
+	return rep
+}
+
+// AvailabilitySummary aggregates availability accounting across a
+// deployment's virtual nodes.
+type AvailabilitySummary struct {
+	MeanAvailability float64
+	Unavailable      int // total unavailable instances across all nodes
+	Stalls           int // total maximal stalls across all nodes
+	MaxStall         int // longest stall anywhere
+	MeanRecovery     float64
+}
+
+// Summary aggregates the reports of virtual nodes 0..vnodes-1.
+func (m *Monitor) Summary(vnodes int) AvailabilitySummary {
+	return m.summarize(vnodes, m.Report)
+}
+
+// SummaryThrough aggregates ReportThrough(v, through) over virtual nodes
+// 0..vnodes-1 — the right accounting when the adversary may have silenced
+// nodes outright.
+func (m *Monitor) SummaryThrough(vnodes, through int) AvailabilitySummary {
+	return m.summarize(vnodes, func(v VNodeID) AvailabilityReport {
+		return m.ReportThrough(v, through)
+	})
+}
+
+func (m *Monitor) summarize(vnodes int, report func(VNodeID) AvailabilityReport) AvailabilitySummary {
+	var s AvailabilitySummary
+	recovered, recoveredLen := 0, 0
+	for v := 0; v < vnodes; v++ {
+		rep := report(VNodeID(v))
+		s.MeanAvailability += rep.Availability
+		s.Unavailable += rep.Unavailable
+		s.Stalls += len(rep.Stalls)
+		if rep.MaxStall > s.MaxStall {
+			s.MaxStall = rep.MaxStall
+		}
+		for _, st := range rep.Stalls {
+			if st.Ended {
+				recovered++
+				recoveredLen += st.Len
+			}
+		}
+	}
+	if vnodes > 0 {
+		s.MeanAvailability /= float64(vnodes)
+	}
+	if recovered > 0 {
+		s.MeanRecovery = float64(recoveredLen) / float64(recovered)
+	}
+	return s
+}
