@@ -90,6 +90,24 @@
 // an interactive tracking simulation (pass -parallel to shard rounds
 // across cores). See README.md for a guided tour.
 //
+// # The determinism contract
+//
+// Every run is a pure function of its seed. Concretely: all randomness is
+// derived from internal/det — a pure hash of (seed, round, node/cell) via
+// det.HashKeys, or a det.Stream keyed the same way — never from math/rand;
+// no wall-clock value reaches deterministic code (simulated time is the
+// round counter; internal/harness owns the one legitimate timing plane,
+// and Measured cost columns are annotated); map iteration order never
+// reaches ordered output (collect keys, sort, then emit); and every wire
+// encoder is closed under the codec surface (AppendTo implies WireSize and
+// a package-level decoder), so states round-trip byte-identically. These
+// four rules are machine-checked: tools/detlint is a go/analysis-style
+// multichecker (globalrand, walltime, maporder, wirecomplete, seedflow)
+// that runs in CI via `go vet -vettool` and must report zero findings on
+// the tree. Deliberate exceptions carry a //detlint:<rule> annotation with
+// a reason; see the "Static analysis" section of README.md for the
+// grammar.
+//
 // # Verifying and benchmarking
 //
 // The tier-1 check is:

@@ -1,6 +1,10 @@
 package cha
 
-import "vinfra/internal/wire"
+import (
+	"slices"
+
+	"vinfra/internal/wire"
+)
 
 // Core is the round-agnostic CHAP state machine of Figure 1. It holds the
 // per-instance status (color) and ballot arrays, the prev-instance pointer,
@@ -346,10 +350,6 @@ func sortedKeys[V any](m map[Instance]V) []Instance {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	slices.Sort(keys)
 	return keys
 }

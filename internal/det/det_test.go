@@ -1,0 +1,109 @@
+package det
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHashKeysMatchesReference(t *testing.T) {
+	// Reference implementation: the exact fold radio.HashKeys has used
+	// since PR 1. The golden files and every committed baseline depend on
+	// these values, so pin a few explicitly.
+	ref := func(keys ...int64) uint64 {
+		var h uint64
+		for _, k := range keys {
+			h = mix64(h ^ (uint64(k) + 0x9e3779b97f4a7c15))
+		}
+		return h
+	}
+	cases := [][]int64{
+		{},
+		{0},
+		{1},
+		{-1},
+		{1, 2, 3},
+		{math.MaxInt64, math.MinInt64},
+		{7919, 0, 42},
+	}
+	for _, keys := range cases {
+		if got, want := HashKeys(keys...), ref(keys...); got != want {
+			t.Errorf("HashKeys(%v) = %#x, want %#x", keys, got, want)
+		}
+	}
+	if HashKeys(1, 2) == HashKeys(2, 1) {
+		t.Error("HashKeys must be order-sensitive")
+	}
+}
+
+func TestU01Range(t *testing.T) {
+	s := NewStream(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %d: Float64() = %v out of [0,1)", i, v)
+		}
+	}
+	if U01(0) != 0 {
+		t.Errorf("U01(0) = %v, want 0", U01(0))
+	}
+	if v := U01(math.MaxUint64); v >= 1 {
+		t.Errorf("U01(MaxUint64) = %v, want < 1", v)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := NewStream(42, 7), NewStream(42, 7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: identically-seeded streams diverge (%#x vs %#x)", i, av, bv)
+		}
+	}
+	c := NewStream(42, 8)
+	if a.Uint64() == c.Uint64() {
+		t.Error("streams with different keys should (overwhelmingly) differ")
+	}
+}
+
+func TestStreamReseedRestartsSequence(t *testing.T) {
+	s := NewStream(5)
+	first := []uint64{s.Uint64(), s.Uint64(), s.Uint64()}
+	s.Reseed(5)
+	for i, want := range first {
+		if got := s.Uint64(); got != want {
+			t.Fatalf("draw %d after Reseed = %#x, want %#x", i, got, want)
+		}
+	}
+	// Reseed matches fresh construction.
+	s.Reseed(9, 9)
+	if got, want := s.Uint64(), NewStream(9, 9).Uint64(); got != want {
+		t.Errorf("Reseed(9,9) first draw = %#x, NewStream(9,9) = %#x", got, want)
+	}
+}
+
+func TestStreamIntn(t *testing.T) {
+	s := NewStream(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("1000 draws of Intn(7) hit %d distinct values, want 7", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestZeroStreamUsable(t *testing.T) {
+	var s Stream
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("zero Stream should still produce a spread sequence")
+	}
+}

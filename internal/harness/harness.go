@@ -253,10 +253,19 @@ func Select(only string) ([]Descriptor, error) {
 			matched[group] = true
 		}
 	}
+	// Collect the unmatched tokens and sort before reporting: ranging the
+	// map directly used to make *which* unknown experiment the error named
+	// depend on map iteration order (the E9a nondeterminism class, now
+	// flagged by detlint's maporder analyzer).
+	var unknown []string
 	for k := range want {
 		if !matched[k] {
-			return nil, fmt.Errorf("unknown experiment %q (want E1..E13 or a sub-ID like E2a)", k)
+			unknown = append(unknown, k)
 		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiment %q (want E1..E13 or a sub-ID like E2a)", strings.Join(unknown, ","))
 	}
 	return out, nil
 }

@@ -61,6 +61,30 @@ func TestSelect(t *testing.T) {
 	}
 }
 
+// TestSelectErrorDeterministic pins the maporder fix in Select: with
+// several unknown tokens the error text used to name whichever one map
+// iteration served first. The message must now list all unknown tokens,
+// sorted, identically on every call.
+func TestSelectErrorDeterministic(t *testing.T) {
+	const tokens = "zz,E2,mm,aa"
+	_, err := harness.Select(tokens)
+	if err == nil {
+		t.Fatalf("Select(%q) did not fail", tokens)
+	}
+	first := err.Error()
+	// All three unknown tokens (canonicalized to upper case), sorted, and
+	// only those — the valid E2 must not leak into the quoted list.
+	if !strings.Contains(first, `"AA,MM,ZZ"`) {
+		t.Errorf(`error %q does not quote exactly the unknown tokens sorted (want "AA,MM,ZZ")`, first)
+	}
+	for i := 0; i < 20; i++ {
+		_, err := harness.Select(tokens)
+		if err == nil || err.Error() != first {
+			t.Fatalf("Select(%q) error changed across calls:\n  %q\n  %v", tokens, first, err)
+		}
+	}
+}
+
 func TestGridColumnsMatchRows(t *testing.T) {
 	// Every descriptor's first quick cell must produce rows matching its
 	// column count (the registry contract the JSON report relies on).

@@ -26,11 +26,11 @@ package radio
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 
 	"vinfra/internal/cd"
+	"vinfra/internal/det"
 	"vinfra/internal/geo"
 	"vinfra/internal/sim"
 )
@@ -151,38 +151,25 @@ type deliverScratch struct {
 	gray        []sim.Transmission
 	deliverable []sim.Transmission
 
-	// The receiver randomness (gray-zone delivery and detector noise) is
-	// keyed by (seed, round, receiver) and drawn lazily: most receivers
-	// never draw, so the generator is only (re)seeded on first use. One
-	// generator and one pre-bound closure per scratch — handing a fresh
-	// closure to Detector.Report for every receiver is what used to make
-	// delivery allocate twice per receiver per round.
-	rngSeed int64
-	seeded  bool
-	rng     *rand.Rand
-	rnd     func() float64
+	// The receiver randomness (gray-zone delivery and detector noise) is a
+	// det.Stream re-keyed to (seed, round, receiver) per receiver — one
+	// word of state, so reseeding is a HashKeys call and an assignment.
+	// One pre-bound closure per scratch — handing a fresh closure to
+	// Detector.Report for every receiver is what used to make delivery
+	// allocate twice per receiver per round.
+	rng det.Stream
+	rnd func() float64
 }
 
 func newDeliverScratch() *deliverScratch {
 	s := &deliverScratch{}
-	s.rnd = func() float64 {
-		if !s.seeded {
-			if s.rng == nil {
-				s.rng = rand.New(rand.NewSource(s.rngSeed))
-			} else {
-				s.rng.Seed(s.rngSeed)
-			}
-			s.seeded = true
-		}
-		return s.rng.Float64()
-	}
+	s.rnd = s.rng.Float64
 	return s
 }
 
-// setReceiver keys the scratch RNG to one receiver without seeding it yet.
+// setReceiver keys the scratch RNG to one receiver.
 func (s *deliverScratch) setReceiver(seed int64, r sim.Round, id sim.NodeID) {
-	s.rngSeed = receiverSeed(seed, r, id)
-	s.seeded = false
+	s.rng.Reseed(seed, int64(r), int64(id))
 }
 
 var _ sim.Medium = (*Medium)(nil)
@@ -350,8 +337,8 @@ func (m *Medium) receive(r sim.Round, txs []sim.Transmission, s *deliverScratch,
 	othersInR2 := len(inR1) + len(gray)
 
 	// Randomness for this receiver (gray-zone delivery and detector
-	// noise) is derived from (seed, round, receiver) on first use, so it
-	// is independent of the order receivers are processed in.
+	// noise) is keyed by (seed, round, receiver), so it is independent of
+	// the order receivers are processed in.
 	s.setReceiver(m.cfg.Seed, r, rx.ID)
 	rnd := s.rnd
 
@@ -429,36 +416,21 @@ func containsTx(txs []sim.Transmission, sender sim.NodeID) bool {
 	return false
 }
 
-// mix64 is the SplitMix64 finalizer, used to spread structured seed inputs.
-func mix64(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
 // HashKeys folds keys through the SplitMix64 finalizer into one well-spread
-// value. It is the single keyed-hash primitive of the deterministic stack:
-// the medium's per-receiver RNG seeds, RandomLoss's per-message draws and
-// the internal/faults adversaries' choices all derive from it, so their
-// determinism contracts stay in lockstep (and cannot silently drift apart
-// across copies).
+// value. It is det.HashKeys, the single keyed-hash primitive of the
+// deterministic stack: the medium's per-receiver RNG streams, RandomLoss's
+// per-message draws and the internal/faults adversaries' choices all derive
+// from it, so their determinism contracts stay in lockstep (and cannot
+// silently drift apart across copies).
 func HashKeys(keys ...int64) uint64 {
-	var h uint64
-	for _, k := range keys {
-		h = mix64(h ^ (uint64(k) + 0x9e3779b97f4a7c15))
-	}
-	return h
+	return det.HashKeys(keys...)
 }
 
-// U01 maps a HashKeys value to a uniform draw in [0, 1) — the other half
-// of the stack's keyed-randomness primitive, shared for the same reason:
-// RandomLoss's drop draws and the internal/faults adversaries' probability
-// draws must use one mapping that cannot drift apart across copies.
+// U01 maps a HashKeys value to a uniform draw in [0, 1) — det.U01, the
+// other half of the stack's keyed-randomness primitive, shared for the same
+// reason: RandomLoss's drop draws and the internal/faults adversaries'
+// probability draws must use one mapping that cannot drift apart across
+// copies.
 func U01(h uint64) float64 {
-	return float64(h>>11) / (1 << 53)
-}
-
-// receiverSeed derives the RNG seed for one receiver in one round.
-func receiverSeed(seed int64, r sim.Round, id sim.NodeID) int64 {
-	return int64(HashKeys(seed, int64(r), int64(id)))
+	return det.U01(h)
 }

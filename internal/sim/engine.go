@@ -2,10 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 
+	"vinfra/internal/det"
 	"vinfra/internal/geo"
 )
 
@@ -92,7 +92,7 @@ type nodeState struct {
 	node  Node
 	pos   geo.Point
 	mover Mover
-	rng   *rand.Rand
+	rng   *det.Stream
 	alive bool
 	env   *nodeEnv
 }
@@ -158,7 +158,7 @@ func (e *Engine) Attach(pos geo.Point, mover Mover, build func(Env) Node) NodeID
 		id:    id,
 		pos:   pos,
 		mover: mover,
-		rng:   rand.New(rand.NewSource(mix(e.seed, int64(id)))),
+		rng:   det.NewStream(e.seed, int64(id)),
 		alive: true,
 	}
 	st.env = &nodeEnv{st: st}
@@ -170,16 +170,6 @@ func (e *Engine) Attach(pos geo.Point, mover Mover, build func(Env) Node) NodeID
 	e.alive = append(e.alive, st)
 	e.info = append(e.info, NodeInfo{ID: id, At: pos, Alive: true})
 	return id
-}
-
-// mix derives a well-spread per-node seed from the master seed
-// (SplitMix64 finalizer).
-func mix(seed, id int64) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(id)+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
 }
 
 // Crash fails node id immediately: it stops transmitting and receiving from

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"vinfra/internal/det"
+	"vinfra/internal/geo"
+)
+
+// TestNodeRNGMatchesDetStream pins the engine's per-node randomness to the
+// det.Stream reference: node id's env draws must be exactly the sequence
+// of det.NewStream(seed, id). This is the wiring PR 6's migration off
+// math/rand established; if the engine ever re-derives its streams
+// differently, every golden file shifts — fail here first, with a message
+// that says why.
+func TestNodeRNGMatchesDetStream(t *testing.T) {
+	const seed = int64(42)
+	e := NewEngine(perfectMedium{}, WithSeed(seed))
+	var envs []Env
+	for i := 0; i < 3; i++ {
+		e.Attach(geo.Point{X: float64(i), Y: 0}, nil, func(env Env) Node {
+			envs = append(envs, env)
+			return &silentNode{}
+		})
+	}
+	for id, env := range envs {
+		ref := det.NewStream(seed, int64(id))
+		for i := 0; i < 100; i++ {
+			got, want := env.Float64(), ref.Float64()
+			if got != want {
+				t.Fatalf("node %d draw %d: env.Float64() = %v, det.NewStream(%d, %d) = %v",
+					id, i, got, seed, id, want)
+			}
+		}
+		// Intn must come from the same stream (next value, not a fork).
+		refNext := ref.Intn(1000)
+		if got := env.Intn(1000); got != refNext {
+			t.Fatalf("node %d: env.Intn(1000) = %d, reference stream = %d", id, got, refNext)
+		}
+	}
+}

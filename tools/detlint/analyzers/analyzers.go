@@ -1,0 +1,106 @@
+// Package analyzers holds detlint's determinism-contract analyzers.
+//
+// The contract they enforce (see the repository doc.go): every guarantee
+// the reproduction makes — byte-identical runs per seed, sequential ≡
+// parallel, reproducible availability/latency tables — rests on three
+// conventions that reviewers used to police by hand:
+//
+//  1. all randomness is a pure hash of explicit keys (seed, round,
+//     node/cell), derived through internal/det (globalrand, seedflow);
+//  2. no wall-clock value reaches deterministic code (walltime);
+//  3. no map-iteration order reaches ordered output (maporder);
+//
+// plus one API invariant: the canonical wire codec surface stays closed —
+// a type that can encode itself can also size and decode itself
+// (wirecomplete).
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vinfra/tools/detlint/internal/analysis"
+)
+
+// All returns every detlint analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		GlobalRand,
+		WallTime,
+		MapOrder,
+		WireComplete,
+		SeedFlow,
+	}
+}
+
+// pkgFunc resolves expr as a selector of a package-level name (pkg.Name)
+// and returns the imported package path and member name.
+func pkgFunc(pass *analysis.Pass, expr ast.Expr) (path, name string, ok bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// calleeName returns the bare name of a call's callee: the function or
+// method name without package or receiver qualification.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// usesAny reports whether expr references any of the given objects.
+func usesAny(pass *analysis.Pass, expr ast.Node, objs map[types.Object]bool) bool {
+	if expr == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRandPath reports whether path is a math/rand flavor.
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// nameHasSeed reports whether a name refers to seed state by convention
+// ("seed", "Seed", "rngSeed", "seeds", ...).
+func nameHasSeed(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}

@@ -1,0 +1,38 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"vinfra/tools/detlint/analyzers"
+	"vinfra/tools/detlint/internal/analysistest"
+)
+
+// The fixture module under testdata/src/detfix holds one package per
+// analyzer, each with positive cases (carrying `// want` expectations) and
+// negative cases (silent). Several positives are extracted from the real
+// violations detlint found on the pre-PR-6 tree: the per-node
+// rand.NewSource in internal/sim, the timeDeliver wall-clock sample in
+// internal/experiments, and the map-ordered error message in
+// internal/harness's Select.
+
+const fixtures = "testdata/src/detfix"
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, fixtures, analyzers.GlobalRand, "./globalrand")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, fixtures, analyzers.WallTime, "./walltime")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, fixtures, analyzers.MapOrder, "./maporder")
+}
+
+func TestWireComplete(t *testing.T) {
+	analysistest.Run(t, fixtures, analyzers.WireComplete, "./wirecomplete")
+}
+
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, fixtures, analyzers.SeedFlow, "./seedflow")
+}

@@ -1,0 +1,257 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vinfra/tools/detlint/internal/analysis"
+)
+
+// MapOrder flags `range` over a map whose body lets the iteration order
+// reach ordered output — the bug class PR 2 fixed by hand in E9a, caught
+// statically. A range body is order-sensitive when, using the iteration
+// variables, it
+//
+//   - appends to a slice declared outside the loop,
+//   - sends on a channel,
+//   - returns from the enclosing function,
+//   - concatenates onto an outer string (or accumulates an outer float,
+//     where addition order changes rounding), or
+//   - calls an emitting function (fmt printers, Write*/Append*/Encode*
+//     sinks — the wire-codec surface).
+//
+// Two escape hatches: collecting keys/values into a slice that the same
+// function later sorts (the canonical fix — sort.X/slices.SortX on the
+// collected slice suppresses the finding), and a //detlint:sorted
+// annotation for sites that are order-insensitive for deeper reasons.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose order reaches ordered output (append/send/return/emit), unless sorted afterwards or annotated //detlint:sorted",
+	Run:  runMapOrder,
+}
+
+// emitCallNames match callee names that emit ordered output.
+func isEmitName(name string) bool {
+	switch {
+	case strings.HasPrefix(name, "Print"), strings.HasPrefix(name, "Fprint"),
+		strings.HasPrefix(name, "Sprint"), strings.HasPrefix(name, "Write"),
+		strings.HasPrefix(name, "Append"), strings.HasPrefix(name, "Encode"):
+		return true
+	}
+	return false
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Walk function by function so the sorted-afterwards suppression
+		// can see the whole enclosing function body.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkMapRanges(pass *analysis.Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Exempt(rs.Pos(), "sorted") {
+			return true
+		}
+		iter := iterObjects(pass, rs)
+		if len(iter) == 0 {
+			// `for range m` — only the trip count is observable, and that
+			// is deterministic.
+			return true
+		}
+		for _, s := range findOrderSinks(pass, rs, iter, fnBody) {
+			pass.Reportf(s.pos, "map iteration order reaches %s; sort the keys first (or annotate //detlint:sorted if order provably cannot matter)", s.what)
+		}
+		return true
+	})
+}
+
+type orderSink struct {
+	pos  token.Pos
+	what string
+}
+
+// iterObjects collects the objects bound to the range statement's key and
+// value variables.
+func iterObjects(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			objs[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			objs[obj] = true // `for k = range m` assigning an outer var
+		}
+	}
+	if rs.Key != nil {
+		add(rs.Key)
+	}
+	if rs.Value != nil {
+		add(rs.Value)
+	}
+	return objs
+}
+
+// findOrderSinks walks the range body for statements that let the
+// iteration variables escape in an ordered form.
+func findOrderSinks(pass *analysis.Pass, rs *ast.RangeStmt, iter map[types.Object]bool, fnBody *ast.BlockStmt) []orderSink {
+	var sinks []orderSink
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeName(call) == "append" &&
+					isBuiltinAppend(pass, call) && len(call.Args) > 0 {
+					if !usesAny(pass, call, iter) {
+						continue
+					}
+					if obj := exprObject(pass, call.Args[0]); obj != nil &&
+						declaredOutside(obj, rs) && !sortedLater(pass, obj, rs, fnBody) {
+						sinks = append(sinks, orderSink{st.Pos(), "a slice built by append"})
+					}
+				}
+			}
+			// Accumulation onto an outer string/float: order changes the
+			// result (concatenation order; floating-point rounding).
+			if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 {
+				if obj := exprObject(pass, st.Lhs[0]); obj != nil && declaredOutside(obj, rs) &&
+					usesAny(pass, st.Rhs[0], iter) && orderSensitiveAccum(obj) {
+					sinks = append(sinks, orderSink{st.Pos(), "an order-sensitive accumulation (string concat / float sum)"})
+				}
+			}
+		case *ast.SendStmt:
+			if usesAny(pass, st.Value, iter) {
+				sinks = append(sinks, orderSink{st.Pos(), "a channel send"})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if usesAny(pass, res, iter) {
+					sinks = append(sinks, orderSink{st.Pos(), "a return value (which key wins depends on iteration order)"})
+					break
+				}
+			}
+		case *ast.CallExpr:
+			name := calleeName(st)
+			if name == "append" || !isEmitName(name) {
+				return true
+			}
+			for _, arg := range st.Args {
+				if usesAny(pass, arg, iter) {
+					sinks = append(sinks, orderSink{st.Pos(), "an emitting call (" + name + ")"})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// isBuiltinAppend distinguishes the append builtin from a method or
+// function that happens to be named append.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// exprObject resolves the variable object a simple lvalue refers to.
+func exprObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement (so values accumulated into it survive the loop).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// orderSensitiveAccum reports whether += onto obj is order-sensitive:
+// string concatenation always, float accumulation through rounding.
+// Integer sums commute exactly and stay deterministic.
+func orderSensitiveAccum(obj types.Object) bool {
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsString != 0 || b.Info()&types.IsFloat != 0
+}
+
+// sortedLater reports whether the enclosing function sorts the collected
+// slice after the range loop — the canonical collect-then-sort fix.
+func sortedLater(pass *analysis.Pass, slice types.Object, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		path, name, ok := pkgFunc(pass, call.Fun)
+		if !ok {
+			return true
+		}
+		isSort := (path == "sort" || path == "slices") &&
+			(strings.HasPrefix(name, "Sort") || name == "Strings" || name == "Ints" || name == "Float64s" || name == "Slice" || name == "SliceStable")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprObject(pass, arg) == slice {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

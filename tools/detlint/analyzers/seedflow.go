@@ -1,0 +1,214 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"vinfra/tools/detlint/internal/analysis"
+)
+
+// SeedFlow is a conservative taint pass over seed values. A seed decides
+// an entire run; if one flows in from the wall clock, the pid, or another
+// ambient source, every downstream hash draw is poisoned while globalrand
+// and walltime see nothing wrong at the draw sites. Two sink classes, with
+// different strictness:
+//
+//   - math/rand source constructors (rand.NewSource, rand.New(...),
+//     rand.Seed, rand.NewPCG): the seed argument must be built entirely
+//     from constants, seed-named values (seed, Seed, rngSeed, c.Seed, ...)
+//     and hash-primitive calls (det.HashKeys, det.NewStream, Cell.Base,
+//     mix...), combined by arithmetic and conversions. These sites already
+//     needed a //detlint:rand annotation to get past globalrand; seedflow
+//     checks that the annotation didn't bless a weak seed.
+//
+//   - assignments into seed-named fields and variables
+//     (radio.Config{Seed: ...}, cfg.Seed = ..., e.seed = ...): flagged
+//     only when the expression demonstrably taps an ambient source — a
+//     call into time, os, math/rand or crypto/rand, or a channel receive.
+//     Deterministic derivations from grid parameters, cell indices and
+//     other config stay silent.
+//
+// det.HashKeys/det.NewStream arguments are never checked: their keys are
+// meant to be ids, rounds and cells.
+var SeedFlow = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "seed values must not flow from ambient sources; math/rand seeds must derive from hash primitives or other seeds",
+	Run:  runSeedFlow,
+}
+
+// isBlessedSeedCall accepts a call as a seed derivation by callee name.
+func isBlessedSeedCall(name string) bool {
+	l := strings.ToLower(name)
+	for _, frag := range []string{"hash", "seed", "mix", "base", "stream", "key"} {
+		if strings.Contains(l, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// ambientPaths are package paths whose calls make a seed irreproducible.
+var ambientPaths = map[string]bool{
+	"time": true, "os": true, "math/rand": true, "math/rand/v2": true,
+	"crypto/rand": true,
+}
+
+func runSeedFlow(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && nameHasSeed(key.Name) {
+						checkAmbient(pass, kv.Value, fmt.Sprintf("field %s", key.Name))
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if obj := exprObject(pass, lhs); obj != nil && nameHasSeed(obj.Name()) {
+						checkAmbient(pass, n.Rhs[i], fmt.Sprintf("value assigned to %s", obj.Name()))
+					}
+				}
+			case *ast.CallExpr:
+				if path, name, ok := pkgFunc(pass, n.Fun); ok && isRandPath(path) {
+					switch name {
+					case "NewSource", "Seed", "NewPCG":
+						for _, arg := range n.Args {
+							checkStrict(pass, arg, fmt.Sprintf("%s.%s argument", path, name))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkAmbient flags expr when it taps an ambient source.
+func checkAmbient(pass *analysis.Pass, expr ast.Expr, what string) {
+	if pass.Exempt(expr.Pos(), "rand") {
+		return
+	}
+	var badPos token.Pos
+	var badWhat string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if badPos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if path, name, ok := pkgFunc(pass, n.Fun); ok && ambientPaths[path] {
+				badPos, badWhat = n.Pos(), path+"."+name
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				badPos, badWhat = n.Pos(), "a channel receive"
+			}
+		}
+		return !badPos.IsValid()
+	})
+	if badPos.IsValid() {
+		pass.Reportf(expr.Pos(),
+			"%s flows from an ambient source (%s); a seed must be reproducible — derive it from config, flags or det.HashKeys", what, badWhat)
+	}
+}
+
+// checkStrict flags expr unless every leaf is constant, seed-named, or a
+// hash-primitive call.
+func checkStrict(pass *analysis.Pass, expr ast.Expr, what string) {
+	if pass.Exempt(expr.Pos(), "rand") {
+		return
+	}
+	if bad := unblessedLeaf(pass, expr); bad != nil {
+		pass.Reportf(expr.Pos(),
+			"%s is not derived from a seed: %s is neither constant, seed-named, nor a hash-primitive call (det.HashKeys/det.NewStream)", what, exprString(bad))
+	}
+}
+
+// unblessedLeaf returns the first sub-expression that disqualifies expr as
+// a seed derivation, or nil if every leaf is blessed.
+func unblessedLeaf(pass *analysis.Pass, expr ast.Expr) ast.Expr {
+	expr = ast.Unparen(expr)
+	// Constants (literals, named constants, constant arithmetic) are
+	// reproducible by definition.
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+		return nil
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if nameHasSeed(e.Name) {
+			return nil
+		}
+		return e
+	case *ast.SelectorExpr:
+		if nameHasSeed(e.Sel.Name) {
+			return nil
+		}
+		return e
+	case *ast.IndexExpr:
+		return unblessedLeaf(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return e
+		}
+		return unblessedLeaf(pass, e.X)
+	case *ast.StarExpr:
+		return unblessedLeaf(pass, e.X)
+	case *ast.BinaryExpr:
+		if bad := unblessedLeaf(pass, e.X); bad != nil {
+			return bad
+		}
+		return unblessedLeaf(pass, e.Y)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if bad := unblessedLeaf(pass, elt.(ast.Expr)); bad != nil {
+				return bad
+			}
+		}
+		return nil
+	case *ast.CallExpr:
+		if isConversion(pass, e) {
+			for _, arg := range e.Args {
+				if bad := unblessedLeaf(pass, arg); bad != nil {
+					return bad
+				}
+			}
+			return nil
+		}
+		if isBlessedSeedCall(calleeName(e)) {
+			// The arguments of a hash-primitive call are keys, not seeds;
+			// they are free to be ids, rounds and cells.
+			return nil
+		}
+		return e
+	}
+	return expr
+}
+
+// exprString renders a short description of expr for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -1,0 +1,43 @@
+// Package globalrand exercises the globalrand analyzer: math/rand use in a
+// deterministic package, the annotation escape hatch, and the distinction
+// between global-source draws and raw sources. The positive cases mirror
+// the real violations detlint found in internal/sim/engine.go and
+// internal/radio/radio.go before PR 6 migrated them to internal/det.
+package globalrand
+
+import "math/rand"
+
+// shuffle draws from the process-global source — nondeterministic under
+// parallel shards and unkeyed by (seed, round, node).
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global source`
+}
+
+func draw() float64 {
+	return rand.Float64() // want `process-global source`
+}
+
+// perNode is the pre-PR-6 engine idiom: a seeded sequential source per
+// node. Deterministic in isolation, but it duplicates det.Stream and its
+// sequence drifts from the hash plane.
+func perNode(seed int64, id int) *rand.Rand {
+	src := rand.NewSource(seed + int64(id)) // want `raw math/rand\.NewSource`
+	return rand.New(src)                    // want `raw math/rand\.New`
+}
+
+// legacy deliberately keeps a stdlib source for cross-checking against an
+// external implementation; the annotation documents and exempts it.
+func legacy(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //detlint:rand cross-check against reference impl
+}
+
+// localMax shadows nothing and touches no randomness: negative case.
+func localMax(xs []int) int {
+	best := 0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,87 @@
+// Package maporder exercises the maporder analyzer: every sink class
+// (append, send, return, order-sensitive accumulation, emitting call), the
+// collect-then-sort suppression, and the //detlint:sorted annotation. The
+// accumulation case mirrors the real bug in internal/harness's Select,
+// which built an error message by concatenating map keys in iteration
+// order until PR 6 collected and sorted them.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `a slice built by append`
+	}
+	return out
+}
+
+// keysSorted is the canonical fix: collect, then sort before the slice is
+// observable. No finding.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `emitting call`
+	}
+}
+
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k // want `return value`
+	}
+	return ""
+}
+
+// errorMessage is the Select bug shape: iteration order decides the
+// message text.
+func errorMessage(unknown map[string]bool) string {
+	msg := "unknown: "
+	for tok := range unknown {
+		msg += tok + "," // want `order-sensitive accumulation`
+	}
+	return msg
+}
+
+// sum is an exact commutative reduction — integer addition order cannot
+// change the result. No finding.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func feed(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send`
+	}
+}
+
+// drain observes only the trip count (`for range m` binds no iteration
+// variable), which is deterministic. No finding.
+func drain(m map[string]struct{}, ch chan<- int) {
+	for range m {
+		ch <- 1
+	}
+}
+
+// probeOrder sends every key to a consumer that treats them as a set; the
+// annotation records why order provably cannot matter.
+func probeOrder(m map[string]int, ch chan<- string) {
+	//detlint:sorted consumer deduplicates into a set
+	for k := range m {
+		ch <- k
+	}
+}

@@ -1,0 +1,63 @@
+// Package seedflow exercises the seedflow analyzer: ambient sources (wall
+// clock, pid, channel receives) flowing into seed-named sinks, weak
+// math/rand seeding, and the negative space — deterministic config-derived
+// seeds must stay silent (the analyzer's first sweep over the real tree
+// flagged exactly those, so this package pins the fix).
+package seedflow
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Config mirrors radio.Config's shape.
+type Config struct {
+	Seed int64
+	N    int
+}
+
+func fromClock() Config {
+	return Config{Seed: time.Now().UnixNano()} // want `ambient source \(time\.Now\)`
+}
+
+func fromPid(c *Config) {
+	c.Seed = int64(os.Getpid()) // want `ambient source \(os\.Getpid\)`
+}
+
+func fromChannel(ch chan int64) Config {
+	return Config{Seed: <-ch} // want `ambient source \(a channel receive\)`
+}
+
+// weakSource seeds math/rand from a parameter with no seed lineage; the
+// strict rule demands constants, seed-named values or hash primitives.
+func weakSource(now int64) *rand.Rand {
+	return rand.New(rand.NewSource(now)) // want `not derived from a seed`
+}
+
+// seededSource derives its stdlib seed from a real seed and constants. No
+// finding.
+func seededSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+}
+
+// hashKeys stands in for det.HashKeys: blessed by name.
+func hashKeys(keys ...int64) int64 { return int64(len(keys)) }
+
+// hashedSource routes node identity through a hash primitive — the
+// canonical derivation. No finding.
+func hashedSource(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(hashKeys(seed, int64(id))))
+}
+
+// derived builds a per-cell seed from config — deterministic, silent.
+// This is the exact shape the first sweep false-positived on.
+func derived(c Config, cell int) Config {
+	return Config{Seed: c.Seed + int64(cell)*1000003, N: c.N}
+}
+
+// throwaway is a deliberate wall-clock seed in scratch code; the
+// annotation records the decision.
+func throwaway() Config {
+	return Config{Seed: time.Now().UnixNano()} //detlint:rand throwaway bench config, never replayed
+}

@@ -1,0 +1,39 @@
+// Package wirecomplete exercises the wirecomplete analyzer: a type with a
+// complete codec surface (AppendTo + WireSize + DecodeFrame), one missing
+// both halves, one missing only its decoder, and the embedded-type
+// negative (promoted AppendTo does not obligate the outer type).
+package wirecomplete
+
+// Frame carries the full codec surface. No finding.
+type Frame struct {
+	Src, Dst uint32
+}
+
+func (f Frame) AppendTo(b []byte) []byte { return b }
+func (f Frame) WireSize() int            { return 8 }
+
+// DecodeFrame decodes a Frame from b.
+func DecodeFrame(b []byte) (Frame, int, error) { return Frame{}, 0, nil }
+
+// Report declares only the encoder half: a one-way encoder whose bytes
+// nothing can check or replay.
+type Report struct { // want `declares AppendTo but not WireSize` `no func DecodeReport`
+	N int
+}
+
+func (r Report) AppendTo(b []byte) []byte { return b }
+
+// Ping sizes itself but has no decoder.
+type Ping struct { // want `no func DecodePing`
+	T uint64
+}
+
+func (p Ping) AppendTo(b []byte) []byte { return b }
+func (p Ping) WireSize() int            { return 8 }
+
+// Envelope embeds Frame; the promoted AppendTo is Frame's obligation, not
+// Envelope's. No finding.
+type Envelope struct {
+	Frame
+	Hops int
+}

@@ -1,0 +1,3 @@
+module vinfra/tools/detlint
+
+go 1.22

@@ -1,0 +1,61 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that detlint's analyzers use.
+//
+// The build environment for this repository is fully offline (no module
+// proxy), so x/tools cannot be a dependency; this package keeps the same
+// shape — Analyzer, Pass, Diagnostic, Reportf — restricted to what local,
+// fact-free analyzers need. If x/tools ever becomes available, each
+// analyzer ports by swapping this import for golang.org/x/tools/go/analysis
+// and deleting the Annotations field (x/tools passes would rebuild it from
+// Pass.Files).
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be a
+	// valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands an Analyzer one type-checked package. Unlike x/tools, Files
+// holds only the files the driver wants analyzed (test files are already
+// excluded for repo runs), while the types.Info covers the whole package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Annot indexes the //detlint:<rule> annotations of Files; never nil.
+	Annot *Annotations
+
+	// Report delivers one diagnostic; set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: sprintf(format, args...)})
+}
+
+// Exempt reports whether pos is covered by a //detlint:<rule> annotation.
+func (p *Pass) Exempt(pos token.Pos, rule string) bool {
+	return p.Annot.Exempt(p.Fset, pos, rule)
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// The annotation grammar is
+//
+//	//detlint:<rule>            (optionally followed by a space and a reason)
+//
+// with no space between // and detlint, mirroring //go: directives. An
+// annotation exempts code from one named rule:
+//
+//   - as a trailing comment, it exempts its own source line;
+//   - on a line of its own, it exempts the next source line as well;
+//   - inside a function's doc comment, it exempts the whole function.
+//
+// Rules: "sorted" (maporder), "walltime" (walltime), "rand" (globalrand and
+// seedflow).
+const annotPrefix = "//detlint:"
+
+// KnownRules is the set of valid annotation rule names.
+var KnownRules = map[string]bool{
+	"sorted":   true,
+	"walltime": true,
+	"rand":     true,
+}
+
+// Annotations indexes every //detlint:<rule> annotation of a file set.
+type Annotations struct {
+	// lines maps rule -> file -> exempted line set.
+	lines map[string]map[string]map[int]bool
+	// spans maps rule -> file -> [start, end] line ranges (function-level
+	// exemptions via doc comments).
+	spans map[string]map[string][][2]int
+	// Bad records annotations naming unknown rules, for the driver to
+	// surface as findings (a typo in an annotation must not silently
+	// disable nothing).
+	Bad []Diagnostic
+}
+
+// ParseAnnotations builds the annotation index for files.
+func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{
+		lines: map[string]map[string]map[int]bool{},
+		spans: map[string]map[string][][2]int{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, ok := parseAnnot(c.Text)
+				if !ok {
+					continue
+				}
+				if !KnownRules[rule] {
+					a.Bad = append(a.Bad, Diagnostic{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("unknown detlint annotation rule %q (want sorted, walltime or rand)", rule),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a.addLine(rule, pos.Filename, pos.Line)
+				a.addLine(rule, pos.Filename, pos.Line+1)
+			}
+		}
+		// Function-level exemptions: an annotation in a FuncDecl's doc
+		// comment covers the whole function.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rule, ok := parseAnnot(c.Text)
+				if !ok || !KnownRules[rule] {
+					continue
+				}
+				start := fset.Position(fd.Pos())
+				end := fset.Position(fd.End())
+				byFile := a.spans[rule]
+				if byFile == nil {
+					byFile = map[string][][2]int{}
+					a.spans[rule] = byFile
+				}
+				byFile[start.Filename] = append(byFile[start.Filename], [2]int{start.Line, end.Line})
+			}
+		}
+	}
+	return a
+}
+
+func parseAnnot(text string) (rule string, ok bool) {
+	if !strings.HasPrefix(text, annotPrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, annotPrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+func (a *Annotations) addLine(rule, file string, line int) {
+	byFile := a.lines[rule]
+	if byFile == nil {
+		byFile = map[string]map[int]bool{}
+		a.lines[rule] = byFile
+	}
+	set := byFile[file]
+	if set == nil {
+		set = map[int]bool{}
+		byFile[file] = set
+	}
+	set[line] = true
+}
+
+// Exempt reports whether pos is exempted from rule.
+func (a *Annotations) Exempt(fset *token.FileSet, pos token.Pos, rule string) bool {
+	p := fset.Position(pos)
+	if byFile := a.lines[rule]; byFile != nil && byFile[p.Filename][p.Line] {
+		return true
+	}
+	for _, span := range a.spans[rule][p.Filename] {
+		if p.Line >= span[0] && p.Line <= span[1] {
+			return true
+		}
+	}
+	return false
+}

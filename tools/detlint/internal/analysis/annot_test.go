@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const annotSrc = `package p
+
+func trailing() {
+	a() //detlint:sorted trailing comments exempt their own line
+	b()
+}
+
+func standalone() {
+	//detlint:walltime a standalone comment exempts the next line too
+	c()
+	d()
+}
+
+// funcwide has a doc-comment annotation covering the whole body.
+//
+//detlint:rand whole function exempt
+func funcwide() {
+	e()
+	f()
+}
+
+func typo() {
+	g() //detlint:sortd unknown rule must surface, not silently no-op
+}
+
+func a() {}
+func b() {}
+func c() {}
+func d() {}
+func e() {}
+func f() {}
+func g() {}
+`
+
+func parseAnnotSrc(t *testing.T) (*token.FileSet, *token.File, *Annotations) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "annot.go", annotSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, fset.File(f.Pos()), ParseAnnotations(fset, []*ast.File{f})
+}
+
+func TestAnnotationScopes(t *testing.T) {
+	fset, tf, a := parseAnnotSrc(t)
+	lineOf := tf.LineStart
+
+	// Trailing comment on line 4 exempts its own line (and, by the
+	// own+next rule, line 5) — for its named rule only.
+	if !a.Exempt(fset, lineOf(4), "sorted") {
+		t.Error("trailing annotation should exempt its own line")
+	}
+	if a.Exempt(fset, lineOf(4), "walltime") {
+		t.Error("annotation must only exempt its named rule")
+	}
+	if a.Exempt(fset, lineOf(6), "sorted") {
+		t.Error("trailing annotation must not reach two lines down")
+	}
+
+	// Standalone comment on line 9 exempts lines 9-10, not 11.
+	if !a.Exempt(fset, lineOf(10), "walltime") {
+		t.Error("standalone annotation should exempt the next line")
+	}
+	if a.Exempt(fset, lineOf(11), "walltime") {
+		t.Error("standalone annotation must not reach two lines down")
+	}
+
+	// Doc-comment annotation covers funcwide's whole span (lines 17-20)
+	// for "rand" only, and stops at the closing brace.
+	if !a.Exempt(fset, lineOf(18), "rand") || !a.Exempt(fset, lineOf(19), "rand") {
+		t.Error("doc-comment annotation should exempt the whole function")
+	}
+	if a.Exempt(fset, lineOf(18), "sorted") {
+		t.Error("doc-comment annotation must only exempt its named rule")
+	}
+	if a.Exempt(fset, lineOf(23), "rand") {
+		t.Error("doc-comment annotation must not leak past the function")
+	}
+}
+
+func TestUnknownRuleSurfaces(t *testing.T) {
+	_, _, a := parseAnnotSrc(t)
+	if len(a.Bad) != 1 {
+		t.Fatalf("want 1 bad annotation, got %d", len(a.Bad))
+	}
+	if !strings.Contains(a.Bad[0].Message, `"sortd"`) {
+		t.Errorf("bad-annotation message should name the unknown rule: %s", a.Bad[0].Message)
+	}
+}

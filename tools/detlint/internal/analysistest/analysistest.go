@@ -1,0 +1,141 @@
+// Package analysistest runs one analyzer over fixture packages and checks
+// its diagnostics against `// want` expectations embedded in the fixtures —
+// the golang.org/x/tools/go/analysis/analysistest contract, rebuilt on the
+// local loader because the build environment is offline.
+//
+// A fixture line that should trigger the analyzer carries a trailing
+// comment
+//
+//	// want `regexp` `regexp` ...
+//
+// with one regexp (backquoted or double-quoted) per expected diagnostic on
+// that line. Every diagnostic must match an expectation on its line and
+// every expectation must be matched, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vinfra/tools/detlint/internal/analysis"
+	"vinfra/tools/detlint/internal/load"
+)
+
+// quoted matches one backquoted or double-quoted regexp in a want comment.
+var quoted = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// Run loads the packages matching patterns from the fixture module at dir,
+// applies a to each, and checks diagnostics against the want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v from %s: %v", patterns, dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v in %s", patterns, dir)
+	}
+	for _, pkg := range pkgs {
+		checkPackage(t, a, pkg)
+	}
+}
+
+// expectation is one want regexp awaiting a diagnostic.
+type expectation struct {
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+
+	// Index the want comments by file:line.
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				specs := quoted.FindAllString(strings.TrimPrefix(text, "want"), -1)
+				if len(specs) == 0 {
+					t.Errorf("%s: want comment with no quoted regexp: %s", key, c.Text)
+					continue
+				}
+				for _, spec := range specs {
+					pat := spec
+					if strings.HasPrefix(spec, `"`) {
+						var err error
+						if pat, err = strconv.Unquote(spec); err != nil {
+							t.Errorf("%s: bad want string %s: %v", key, spec, err)
+							continue
+						}
+					} else {
+						pat = strings.Trim(spec, "`")
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", key, spec, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{raw: pat, re: re})
+				}
+			}
+		}
+	}
+
+	// Run the analyzer.
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Annot:     analysis.ParseAnnotations(pkg.Fset, pkg.Syntax),
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+	}
+
+	// Every diagnostic needs a matching expectation on its line.
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+
+	// Every expectation needs a diagnostic.
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.raw)
+			}
+		}
+	}
+}

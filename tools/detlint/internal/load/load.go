@@ -1,0 +1,161 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages without depending on golang.org/x/tools/go/packages (the build
+// environment is offline). It shells out to `go list -deps -export -json`
+// for the package graph and compiled export data, parses the target
+// packages' sources, and type-checks them against the export data through
+// the standard library's gc importer.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string // absolute paths, in go list order
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// Packages loads the packages matching patterns, resolved relative to dir
+// (a directory inside the target module). Deps are consumed as compiled
+// export data; only the matched packages themselves are parsed from source.
+// The result is sorted by import path so downstream output is deterministic.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,DepOnly,GoFiles",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := Importer(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := Check(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkg.Name, pkg.Dir = t.Name, t.Dir
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// Importer returns a gc-export-data importer resolving import paths through
+// lookup (path -> export data file). It is shared by the go-list loader and
+// the go vet unitchecker mode.
+func Importer(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := lookup(path)
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Check parses goFiles (with comments) and type-checks them as one package.
+func Check(fset *token.FileSet, imp types.Importer, importPath string, goFiles []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+	}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %v", err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		GoFiles:    goFiles,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		Info:       info,
+		// Name/Dir filled by callers that know them.
+	}, nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vinfra/tools/detlint/internal/load"
+)
+
+// TestRepoIsClean is the gate the CI lint job enforces: the vinfra tree
+// must carry zero detlint findings. A finding here means either new code
+// broke the determinism contract or an analyzer grew a false positive —
+// both block.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole parent module")
+	}
+	pkgs, err := load.Packages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading vinfra: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from ../..")
+	}
+	for _, pkg := range pkgs {
+		for _, f := range runPackage(pkg, pkg.Fset) {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// buildDetlint compiles this command into dir and returns the binary path.
+func buildDetlint(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "detlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building detlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetHandshake pins the -V=full tool-ID handshake cmd/go requires of a
+// -vettool: `<name> version <version>` with a non-"devel" version.
+func TestVetHandshake(t *testing.T) {
+	bin := buildDetlint(t, t.TempDir())
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("detlint -V=full: %v", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	if len(fields) != 3 || fields[1] != "version" || fields[2] == "devel" {
+		t.Fatalf("handshake output %q; want `detlint version <non-devel>`", out)
+	}
+}
+
+// TestVetToolProtocol drives the real go command against a scratch module
+// named vinfra (so the package policy applies) containing one walltime
+// violation, and checks that `go vet -vettool=detlint` fails with the
+// finding — the full unitchecker protocol end to end: cfg parsing, vetx
+// output, export-data importing, exit status.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a scratch module with the go command")
+	}
+	bin := buildDetlint(t, t.TempDir())
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vinfra\n\ngo 1.22\n")
+	write("internal/p/p.go", `package p
+
+import "time"
+
+// Stamp leaks the wall clock into a deterministic package.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("internal/q/q.go", `package q
+
+// Round is clean: no finding, vet must pass this package.
+func Round(r int) int { return r + 1 }
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed a walltime violation; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "wall clock") {
+		t.Fatalf("go vet failed without the walltime finding:\n%s", out)
+	}
+
+	// Fix the violation; vet must now pass (and the clean package must not
+	// have produced spurious findings either way).
+	write("internal/p/p.go", `package p
+
+// Stamp now derives from the round counter.
+func Stamp(round int64) int64 { return round * 1000 }
+`)
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean tree: %v\n%s", err, out)
+	}
+}
+
+// TestPolicy pins which analyzers the driver applies where.
+func TestPolicy(t *testing.T) {
+	names := func(importPath string) string {
+		var ns []string
+		for _, a := range analyzersFor(importPath) {
+			ns = append(ns, a.Name)
+		}
+		return strings.Join(ns, ",")
+	}
+	cases := []struct {
+		importPath string
+		want       string
+	}{
+		{"vinfra/internal/sim", "maporder,wirecomplete,globalrand,seedflow,walltime"},
+		{"vinfra/internal/harness", "maporder,wirecomplete,globalrand,seedflow"},
+		{"vinfra", "maporder,wirecomplete,globalrand,seedflow,walltime"},
+		{"vinfra/cmd/chabench", "maporder,wirecomplete"},
+		{"vinfra/examples/routing", "maporder,wirecomplete"},
+		{"vinfra/internal/sim.test", ""},
+		{"fmt", ""},
+		{"github.com/other/mod", ""},
+	}
+	for _, c := range cases {
+		if got := names(c.importPath); got != c.want {
+			t.Errorf("analyzersFor(%q) = %q, want %q", c.importPath, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vinfra/tools/detlint/internal/load"
+)
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig — the JSON the go
+// command writes to <objdir>/vet.cfg and hands to a -vettool. Only the
+// fields detlint consumes are declared; the rest round-trip through the
+// decoder untouched.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+	GoVersion    string
+	IgnoredFiles []string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode speaks the go vet tool protocol: read the package config, write
+// the (empty — detlint records no facts) vetx output the go command caches,
+// analyze, print findings to stderr and exit 2 when there are any.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// detlint produces no cross-package facts, but cmd/go caches the vetx
+	// output file to decide whether dependency re-vets are needed — write
+	// an empty one so the cache works.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only run for a dependency; nothing to compute
+	}
+
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		fmt.Fprintf(os.Stderr, "detlint: unsupported compiler %q\n", cfg.Compiler)
+		return 1
+	}
+	if len(analyzersFor(cfg.ImportPath)) == 0 {
+		return 0
+	}
+
+	// The go command vets test variants too; the determinism contract is
+	// about non-test code, so test files are dropped (an all-test package
+	// — the external _test variant — is skipped entirely).
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(filepath.Base(f), "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := load.Importer(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := load.Check(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "detlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings := runPackage(pkg, fset)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
