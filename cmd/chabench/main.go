@@ -1,12 +1,15 @@
-// Command chabench runs the reproduction experiment suite (E1–E13) through
+// Command chabench runs the reproduction experiment suite (E1–E14) through
 // the internal/harness registry: the paper's Figure 2, the
 // constant-overhead claims of Theorem 14, the Property 4 color invariant,
 // the correctness theorems, the Section 4 emulation overhead and churn
 // behaviour, the Section 1.5 baseline comparisons, the ablations, the
 // round-delivery scaling table (scan vs grid spatial index), the metro
-// churn-at-scale campaign (E11), and the state-plane cost table (E12:
+// churn-at-scale campaign (E11), the state-plane cost table (E12:
 // per-virtual-round rounds, measured wire bytes and rounds/sec on the
-// wire-codec stack).
+// wire-codec stack), the adversary robustness grid (E13), and the
+// city-scale region-sharded campaign (E14: the same metro deployment on 1
+// and 8 shards, with a byte-identical "match" pin and a measured scaling
+// ratio).
 //
 // Usage:
 //
@@ -21,9 +24,9 @@
 //
 // Comparing against a committed baseline:
 //
-//	chabench -json -only E10,E11,E12,E13 -seeds 1,2,3 -out bench.json
+//	chabench -json -only E10,E11,E12,E13,E14 -seeds 1,2,3 -out bench.json
 //	chabench -compare bench.json                  # vs BENCH_BASELINE.json
-//	chabench -compare bench.json -calibrate -tolerance 0.30
+//	chabench -compare bench.json -calibrate -tolerance 0.30,E14=0.40
 //
 // -compare exits 2 on usage errors, 1 when a gated cell regressed beyond
 // the tolerance or when cells pinned by the baseline are absent from the
@@ -31,23 +34,77 @@
 // otherwise. -calibrate divides every ratio by the
 // suite's median ratio, cancelling machine-speed differences when the
 // baseline was generated on different hardware (the CI setting).
+// -tolerance takes a default plus optional per-experiment overrides
+// ("0.30,E14=0.40"): E14 times whole city-scale runs and gates looser than
+// the per-round microbenchmarks without loosening the rest of the suite.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
-	_ "vinfra/internal/experiments" // registers E1..E13 descriptors
+	_ "vinfra/internal/experiments" // registers E1..E14 descriptors
 	"vinfra/internal/harness"
 )
+
+// tolFlag is the -tolerance value: a default fractional slowdown plus
+// per-experiment overrides, e.g. "0.30,E14=0.40". A plain float keeps the
+// historical behaviour.
+type tolFlag struct {
+	base float64
+	per  map[string]float64
+}
+
+func (t *tolFlag) String() string {
+	s := strconv.FormatFloat(t.base, 'g', -1, 64)
+	var keys []string
+	for k := range t.per {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += fmt.Sprintf(",%s=%g", k, t.per[k])
+	}
+	return s
+}
+
+func (t *tolFlag) Set(s string) error {
+	per := map[string]float64{}
+	base := t.base
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, val, isOverride := strings.Cut(tok, "=")
+		if !isOverride {
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return fmt.Errorf("bad tolerance %q (want a fraction like 0.30)", tok)
+			}
+			base = v
+			continue
+		}
+		name = strings.ToUpper(strings.TrimSpace(name))
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if name == "" || err != nil {
+			return fmt.Errorf("bad tolerance override %q (want EXP=fraction like E14=0.40)", tok)
+		}
+		per[name] = v
+	}
+	t.base = base
+	t.per = per
+	return nil
+}
 
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "run reduced parameter sweeps")
-		only     = flag.String("only", "", "run a subset: comma-separated groups (E1..E13) or sub-IDs (E2a)")
+		only     = flag.String("only", "", "run a subset: comma-separated groups (E1..E14) or sub-IDs (E2a)")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report instead of text tables")
 		outPath  = flag.String("out", "", "write output to a file instead of stdout")
 		seedsStr = flag.String("seeds", "", "comma-separated seed list replicated across every cell (default: per-experiment)")
@@ -58,14 +115,16 @@ func main() {
 
 		compare   = flag.String("compare", "", "compare the given report JSON against -baseline and exit")
 		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "baseline report for -compare")
-		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional slowdown per cell for -compare")
+		tolerance = tolFlag{base: 0.30}
 		calibrate = flag.Bool("calibrate", false, "normalize -compare ratios by the median ratio (cross-machine comparisons)")
 		minWall   = flag.Float64("minwall", 0.025, "noise floor in seconds: faster cells are exempt from the -compare gate")
 	)
+	flag.Var(&tolerance, "tolerance",
+		"allowed fractional slowdown per cell for -compare, with optional per-experiment overrides (\"0.30,E14=0.40\")")
 	flag.Parse()
 
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *baseline, *tolerance, *calibrate, *minWall))
+		os.Exit(runCompare(*compare, *baseline, tolerance, *calibrate, *minWall))
 	}
 
 	seeds, err := parseSeeds(*seedsStr)
@@ -129,7 +188,7 @@ func parseSeeds(s string) ([]int64, error) {
 	return seeds, nil
 }
 
-func runCompare(curPath, basePath string, tolerance float64, calibrate bool, minWall float64) int {
+func runCompare(curPath, basePath string, tolerance tolFlag, calibrate bool, minWall float64) int {
 	base, err := harness.LoadReport(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chabench: baseline: %v\n", err)
@@ -141,9 +200,10 @@ func runCompare(curPath, basePath string, tolerance float64, calibrate bool, min
 		return 2
 	}
 	cmp := harness.Compare(base, cur, harness.CompareOptions{
-		Tolerance:  tolerance,
-		Calibrate:  calibrate,
-		MinWallSec: minWall,
+		Tolerance:     tolerance.base,
+		PerExperiment: tolerance.per,
+		Calibrate:     calibrate,
+		MinWallSec:    minWall,
 	})
 	if len(cmp.Deltas) == 0 {
 		fmt.Fprintf(os.Stderr, "chabench: no cells in %s match the baseline %s (cells are matched by experiment/cell/seed — were both produced by the same -only/-seeds invocation?)\n",
@@ -153,7 +213,7 @@ func runCompare(curPath, basePath string, tolerance float64, calibrate bool, min
 		}
 		return 2
 	}
-	cmp.Table(tolerance).Render(os.Stdout)
+	cmp.Table().Render(os.Stdout)
 	for _, m := range cmp.Missing {
 		fmt.Printf("missing: %s\n", m)
 	}

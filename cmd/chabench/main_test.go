@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestTolFlagParse(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		base    float64
+		per     map[string]float64
+		wantErr bool
+	}{
+		{in: "0.30", base: 0.30},
+		{in: "0.5", base: 0.5},
+		{in: "0.30,E14=0.40", base: 0.30, per: map[string]float64{"E14": 0.40}},
+		// Override only: the default stays at the flag's initial value.
+		{in: "e14=0.40", base: 0.30, per: map[string]float64{"E14": 0.40}},
+		{in: "0.25,E14=0.40,E10=0.10", base: 0.25,
+			per: map[string]float64{"E14": 0.40, "E10": 0.10}},
+		{in: " 0.30 , E14 = 0.40 ", base: 0.30, per: map[string]float64{"E14": 0.40}},
+		{in: "bogus", wantErr: true},
+		{in: "E14=abc", wantErr: true},
+		{in: "=0.40", wantErr: true},
+	} {
+		f := tolFlag{base: 0.30}
+		err := f.Set(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Set(%q): no error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Set(%q): %v", tc.in, err)
+			continue
+		}
+		if f.base != tc.base {
+			t.Errorf("Set(%q): base = %v, want %v", tc.in, f.base, tc.base)
+		}
+		if len(f.per) != len(tc.per) {
+			t.Errorf("Set(%q): per = %v, want %v", tc.in, f.per, tc.per)
+			continue
+		}
+		for k, v := range tc.per {
+			if f.per[k] != v {
+				t.Errorf("Set(%q): per[%s] = %v, want %v", tc.in, k, f.per[k], v)
+			}
+		}
+	}
+}
+
+func TestTolFlagString(t *testing.T) {
+	f := tolFlag{base: 0.30}
+	if err := f.Set("0.30,E14=0.40,E10=0.10"); err != nil {
+		t.Fatal(err)
+	}
+	// Overrides render sorted so the default shown by -h is stable.
+	if got, want := f.String(), "0.3,E10=0.1,E14=0.4"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -68,6 +68,13 @@ func init() { harness.Register(e11Desc) }
 // the backoff manager's multi-region election contention — E6 covers the
 // elected-leader churn story on a single region.
 func metroCell(c *harness.Cell) []harness.Row {
+	return metroRows(c, 0)
+}
+
+// metroRows runs one metro cell; the shard count exists for
+// TestShardedEqualsSequential, which pins region-sharded runs (shards > 0)
+// byte-identical to the single-medium cell under the metro churn load.
+func metroRows(c *harness.Cell, shards int) []harness.Row {
 	cols, rows, vrounds := c.Params.Int("cols"), c.Params.Int("rows"), c.Params.Int("vrounds")
 	const replicasPer = 3
 	locs := geo.Grid{Spacing: 6, Cols: cols, Rows: rows}.Locations()
@@ -77,6 +84,7 @@ func metroCell(c *harness.Cell) []harness.Row {
 		seed:        int64(cols*rows) + c.Base(),
 		fixedLeader: true,
 		parallel:    true,
+		shards:      shards,
 	})
 	// One client per region, staggered so pings from neighboring regions
 	// don't collide every client slot.

@@ -83,14 +83,15 @@ var e13Desc = harness.Descriptor{
 func init() { harness.Register(e13Desc) }
 
 func adversaryCell(c *harness.Cell) []harness.Row {
-	return adversaryRows(c, true)
+	return adversaryRows(c, true, 0)
 }
 
-// adversaryRows runs one robustness cell. The parallel flag exists for
-// TestAdversaryParallelEqualsSequential: descriptor cells always run the
-// parallel grid stack, and the property test pins its rows byte-identical
-// to a sequential run.
-func adversaryRows(c *harness.Cell, parallel bool) []harness.Row {
+// adversaryRows runs one robustness cell. The parallel flag and shard
+// count exist for the determinism property tests: descriptor cells always
+// run the parallel grid stack on a single medium, and the tests pin rows
+// byte-identical across sequential, parallel and region-sharded
+// (shards > 0) runs of the same cell.
+func adversaryRows(c *harness.Cell, parallel bool, shards int) []harness.Row {
 	kind, intensity := c.Params.Str("kind"), c.Params.Str("intensity")
 	cols, rows, vrounds := c.Params.Int("cols"), c.Params.Int("rows"), c.Params.Int("vrounds")
 	const replicasPer = 3
@@ -127,6 +128,7 @@ func adversaryRows(c *harness.Cell, parallel bool) []harness.Row {
 		fixedLeader: true,
 		adversary:   adversary,
 		parallel:    parallel,
+		shards:      shards,
 	})
 	// One client per region, staggered so neighboring pings don't collide
 	// every client slot.

@@ -18,8 +18,8 @@ func TestAdversaryParallelEqualsSequential(t *testing.T) {
 			p, seed := p, seed
 			t.Run(p.Label, func(t *testing.T) {
 				t.Parallel()
-				par := adversaryRows(&harness.Cell{Params: p, Seed: seed}, true)
-				seq := adversaryRows(&harness.Cell{Params: p, Seed: seed}, false)
+				par := adversaryRows(&harness.Cell{Params: p, Seed: seed}, true, 0)
+				seq := adversaryRows(&harness.Cell{Params: p, Seed: seed}, false, 0)
 				if !reflect.DeepEqual(par, seq) {
 					t.Fatalf("seed %d: parallel rows diverge from sequential:\npar: %+v\nseq: %+v",
 						seed, par, seq)
@@ -39,7 +39,7 @@ func TestAdversaryCellsDegradeAvailability(t *testing.T) {
 		rows := adversaryRows(&harness.Cell{Seed: 1, Params: harness.Params{
 			Ints: map[string]int{"cols": 3, "rows": 3, "vrounds": 8},
 			Strs: map[string]string{"kind": kind, "intensity": "high"},
-		}}, true)
+		}}, true, 0)
 		if len(rows) != 1 {
 			t.Fatalf("%s: %d rows", kind, len(rows))
 		}

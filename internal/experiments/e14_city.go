@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vinfra/internal/det"
+	"vinfra/internal/geo"
+	"vinfra/internal/harness"
+	"vinfra/internal/metrics"
+	"vinfra/internal/mobility"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+)
+
+// E14 is the city-scale experiment: the full virtual-infrastructure stack
+// on the region-sharded engine at device counts far beyond what one medium
+// handles comfortably, the deployment regime the sharded engine exists for.
+// Each cell runs the same city twice — one shard, then eight — and reports
+// both the deterministic outcome (availability, listener coverage, wire
+// bytes, halo traffic, and a "match" column pinning the two runs
+// byte-identical) and the measured rounds/second of each run, whose ratio
+// is the scaling headline the CI perf gate watches.
+//
+// The city: a cols x rows virtual-node grid at citySpacing (wide enough
+// apart that the TDMA schedule stays short — at spacing 6 a 30x30 grid
+// would put hundreds of regions inside one conflict radius and stretch the
+// schedule past a hundred slots), three replicas plus one staggered pinger
+// client per region, and a background population of listen-only devices
+// wandering the whole area under RandomWaypoint — the mass of commuter
+// radios a metro deployment serves. Listeners transmit nothing (half a
+// million chattering nodes would just be a collision storm) but they move,
+// migrate across shard boundaries, and receive every round, so they load
+// exactly the paths sharding has to get right: partition, halo exchange
+// and per-shard delivery.
+var e14Desc = harness.Descriptor{
+	ID:    "E14",
+	Group: "E14",
+	Title: "E14 — city: region-sharded engine at metro scale",
+	Notes: "same deployment run on 1 shard then 8; match pins the runs byte-identical (the determinism contract), rounds/s columns are measured wall clock; halo tx = boundary-band copies handed to neighbor shards in the 8-shard run",
+	Columns: []string{
+		"devices", "vnodes", "vrounds", "rounds",
+		"availability", "coverage", "wire B", "halo tx", "match",
+		"rounds/s x1", "rounds/s x8", "speedup",
+	},
+	Grid: func(quick bool) []harness.Params {
+		type shape struct {
+			label      string
+			devices    int
+			cols, rows int
+			vrounds    int
+		}
+		shapes := []shape{
+			{"10k/15x15", 10_000, 15, 15, 3},
+			{"100k/15x15", 100_000, 15, 15, 3},
+			{"100k/30x30", 100_000, 30, 30, 3},
+			{"500k/30x30", 500_000, 30, 30, 2},
+		}
+		if quick {
+			shapes = []shape{{"2k/5x5", 2_000, 5, 5, 2}}
+		}
+		var grid []harness.Params
+		for _, s := range shapes {
+			grid = append(grid, harness.Params{
+				Label: s.label,
+				Ints: map[string]int{
+					"devices": s.devices, "cols": s.cols, "rows": s.rows,
+					"vrounds": s.vrounds,
+				},
+			})
+		}
+		return grid
+	},
+	Run: cityCell,
+}
+
+func init() { harness.Register(e14Desc) }
+
+// citySpacing is the virtual-node grid pitch for E14. The schedule's
+// conflict radius is R1 + 2*R2 = 50, so at 25 a region conflicts only with
+// its near neighbors and the TDMA schedule stays a handful of slots long
+// regardless of grid size — city growth adds regions, not schedule length.
+const citySpacing = 25.0
+
+// cityListener is a background device: it never transmits, and only counts
+// the rounds in which it heard anything. The heard counts (folded into the
+// run signature in attach order) make every listener's full reception
+// history part of the determinism check.
+type cityListener struct {
+	heard int
+}
+
+func (l *cityListener) Transmit(sim.Round) sim.Message { return nil }
+
+func (l *cityListener) Receive(_ sim.Round, rx sim.Reception) {
+	if len(rx.Msgs) > 0 {
+		l.heard++
+	}
+}
+
+// citySig is the deterministic outcome of one city run. Two runs of the
+// same cell must compare equal regardless of shard count — the signature
+// covers the VI layer (availability), the background population (coverage
+// count and the order-sensitive fold of every listener's heard count) and
+// the engine's own accounting.
+type citySig struct {
+	Avail   float64
+	Covered int
+	Heard   uint64
+	Tx      int
+	Bytes   int
+}
+
+// cityOutcome is one run's signature plus its measured cost.
+type cityOutcome struct {
+	sig     citySig
+	rounds  int
+	halo    int
+	elapsed time.Duration
+}
+
+// cityRun builds and runs one city deployment on the given shard count and
+// returns its deterministic signature plus the measured wall clock of the
+// round loop. The wall-clock read is E14's output (the rounds/s and
+// speedup columns, all Measured and blanked in deterministic runs).
+//
+//detlint:walltime E14 measures whole-run round-loop cost; rounds/s columns are Measured
+func cityRun(c *harness.Cell, shards int) cityOutcome {
+	devices := c.Params.Int("devices")
+	cols, rows := c.Params.Int("cols"), c.Params.Int("rows")
+	vrounds := c.Params.Int("vrounds")
+	const replicasPer = 3
+	locs := geo.Grid{Spacing: citySpacing, Cols: cols, Rows: rows}.Locations()
+	seed := int64(devices) + c.Base()
+
+	bed := newVIBed(viBedOpts{
+		locs:        locs,
+		replicasPer: replicasPer,
+		seed:        seed,
+		fixedLeader: true,
+		parallel:    true,
+		shards:      shards,
+	})
+	// One client per region, staggered so neighboring pings don't collide
+	// every client slot (the E13 stagger).
+	for v, loc := range locs {
+		v := v
+		bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
+			return bed.dep.NewClient(env, vi.ClientFunc(
+				func(vr int, _ []vi.Message, _ bool) *vi.Message {
+					if vr%4 != v%4 {
+						return nil
+					}
+					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
+				}))
+		})
+	}
+
+	// Fill the remaining device budget with wandering listeners, placed
+	// uniformly over the city by a seed-keyed stream so the population is a
+	// pure function of the cell.
+	area := geo.Rect{
+		Min: geo.Point{X: -10, Y: -10},
+		Max: geo.Point{
+			X: citySpacing*float64(cols-1) + 10,
+			Y: citySpacing*float64(rows-1) + 10,
+		},
+	}
+	rng := det.NewStream(seed + 404)
+	var listeners []*cityListener
+	for bed.eng.NumNodes() < devices {
+		l := &cityListener{}
+		listeners = append(listeners, l)
+		pos := geo.Point{
+			X: area.Min.X + rng.Float64()*area.Width(),
+			Y: area.Min.Y + rng.Float64()*area.Height(),
+		}
+		bed.eng.Attach(pos, &mobility.RandomWaypoint{Area: area, VMax: 2},
+			func(sim.Env) sim.Node { return l })
+	}
+
+	start := time.Now()
+	bed.runVRounds(vrounds)
+	elapsed := time.Since(start)
+
+	st := bed.eng.Stats()
+	c.CountRounds(st.Rounds)
+	c.CountBytes(st.TotalBytes)
+	sig := citySig{
+		Avail: bed.mon.SummaryThrough(len(locs), vrounds).MeanAvailability,
+		Tx:    st.Transmissions,
+		Bytes: st.TotalBytes,
+	}
+	for _, l := range listeners {
+		if l.heard > 0 {
+			sig.Covered++
+		}
+		sig.Heard = det.HashKeys(int64(sig.Heard), int64(l.heard))
+	}
+	return cityOutcome{
+		sig:     sig,
+		rounds:  st.Rounds,
+		halo:    st.HaloTransmissions,
+		elapsed: elapsed,
+	}
+}
+
+// cityCell runs one E14 cell: the same city on one shard and on eight, the
+// deterministic outcome reported once (match pins the two runs equal), the
+// cost reported per run.
+func cityCell(c *harness.Cell) []harness.Row {
+	devices := c.Params.Int("devices")
+	cols, rows := c.Params.Int("cols"), c.Params.Int("rows")
+	vrounds := c.Params.Int("vrounds")
+
+	one := cityRun(c, 1)
+	eight := cityRun(c, 8)
+	match := one.sig == eight.sig
+
+	coverage := 0.0
+	if n := devices - (cols*rows)*4; n > 0 {
+		coverage = float64(eight.sig.Covered) / float64(n)
+	}
+	perSec := func(o cityOutcome) float64 {
+		if o.elapsed <= 0 {
+			return 0
+		}
+		return float64(o.rounds) / o.elapsed.Seconds()
+	}
+	rps1, rps8 := perSec(one), perSec(eight)
+	speedup := 0.0
+	if rps1 > 0 {
+		speedup = rps8 / rps1
+	}
+	return []harness.Row{{
+		harness.Int(devices), harness.Int(cols * rows), harness.Int(vrounds),
+		harness.Int(eight.rounds),
+		harness.Float(eight.sig.Avail), harness.Float(coverage),
+		harness.Int(eight.sig.Bytes), harness.Int(eight.halo),
+		harness.Bool(match),
+		harness.MeasuredFloat(fmt.Sprintf("%.0f", rps1), rps1),
+		harness.MeasuredFloat(fmt.Sprintf("%.0f", rps8), rps8),
+		harness.MeasuredFloat(metrics.F(speedup)+"x", speedup),
+	}}
+}

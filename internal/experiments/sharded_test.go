@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vinfra/internal/harness"
+)
+
+// TestShardedEqualsSequential is the full-stack half of the region-sharded
+// determinism contract: the complete emulation stack — VI emulators,
+// clients, monitor accounting, engine faults and the radio medium's
+// jammers — produces byte-identical experiment rows on the region-sharded
+// engine for shard counts {1, 2, 4, 9}, sequential or parallel, as on the
+// single-medium sequential engine. The load is the E13 adversary grid
+// (every kind: jamming, region wipes, churn storms, crash bursts — wipe
+// and storm include mid-run attach churn) plus the E11 metro churn cell
+// (Leave / scheduled CrashAt / late CrashAt departures with mid-run
+// joiners), so boundary bands, halo exchange and cross-shard migration are
+// all exercised under attack.
+func TestShardedEqualsSequential(t *testing.T) {
+	shardCounts := []int{1, 2, 4, 9}
+
+	for _, p := range e13Desc.Grid(true) {
+		for _, seed := range []int64{1, 2} {
+			p, seed := p, seed
+			t.Run(fmt.Sprintf("e13/%s/seed=%d", p.Label, seed), func(t *testing.T) {
+				t.Parallel()
+				want := adversaryRows(&harness.Cell{Params: p, Seed: seed}, false, 0)
+				for _, n := range shardCounts {
+					for _, parallel := range []bool{false, true} {
+						got := adversaryRows(&harness.Cell{Params: p, Seed: seed}, parallel, n)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("shards=%d parallel=%v: rows diverge from the sequential single-medium run:\ngot:  %+v\nwant: %+v",
+								n, parallel, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+
+	for _, p := range e11Desc.Grid(true) {
+		for _, seed := range []int64{1, 2} {
+			p, seed := p, seed
+			t.Run(fmt.Sprintf("e11/%s/seed=%d", p.Label, seed), func(t *testing.T) {
+				t.Parallel()
+				want := metroRows(&harness.Cell{Params: p, Seed: seed}, 0)
+				for _, n := range shardCounts {
+					got := metroRows(&harness.Cell{Params: p, Seed: seed}, n)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("shards=%d: metro rows diverge from the single-medium run:\ngot:  %+v\nwant: %+v",
+							n, got, want)
+					}
+				}
+			})
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"vinfra/internal/cm"
 	"vinfra/internal/geo"
 	"vinfra/internal/radio"
+	"vinfra/internal/shard"
 	"vinfra/internal/sim"
 	"vinfra/internal/vi"
 	"vinfra/internal/wire"
@@ -73,6 +74,13 @@ type viBedOpts struct {
 	// sharded delivery and a parallel engine. Results are identical to the
 	// sequential bed (the determinism contract); only the cost changes.
 	parallel bool
+	// shards > 0 runs the bed on the region-sharded engine instead of one
+	// medium: shard.Split factors the count into a near-square grid, each
+	// shard rectangle gets its own radio.Medium (same seed, sequential
+	// receiver loop — the shard is the parallelism unit), and boundary-band
+	// transmissions are exchanged at round edges. Results are identical to
+	// the single-medium bed for any count (the determinism contract).
+	shards int
 }
 
 func newVIBed(o viBedOpts) *viBed {
@@ -114,6 +122,20 @@ func newVIBed(o viBedOpts) *viBed {
 		mediumCfg.Mode = radio.ModeGrid
 		mediumCfg.Parallel = true
 		engOpts = append(engOpts, sim.WithParallel())
+	}
+	if o.shards > 0 {
+		// Each shard medium delivers its residents sequentially (the shard
+		// is the parallelism unit; receiver-sharding inside a shard would
+		// nest worker pools) and keeps ModeAuto: small shards scan, busy
+		// ones build their own grid index. Cell size is the interference
+		// radius, matching the medium's own bucketing.
+		shardCfg := mediumCfg
+		shardCfg.Mode = radio.ModeAuto
+		shardCfg.Parallel = false
+		cols, rows := shard.Split(o.shards)
+		engOpts = append(engOpts, sim.WithRegionShards(cols, rows, Radii.R2, func() sim.Medium {
+			return radio.MustMedium(shardCfg)
+		}))
 	}
 	medium := radio.MustMedium(mediumCfg)
 	bed := &viBed{

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 
 	"vinfra/internal/metrics"
 )
@@ -14,6 +15,13 @@ type CompareOptions struct {
 	// (possibly calibrated) wall-time ratio exceeds 1+Tolerance is a
 	// regression. 0.30 is the CI gate.
 	Tolerance float64
+	// PerExperiment overrides Tolerance for individual experiments, keyed by
+	// experiment ID (case-insensitive). Wide-variance experiments get a
+	// looser gate without loosening the whole suite — E14 times whole
+	// city-scale runs whose wall clock wobbles more than the per-round
+	// microbenchmarks, so it gates at 0.40 while everything else stays at
+	// 0.30.
+	PerExperiment map[string]float64
 	// Calibrate divides every ratio by the median ratio across all
 	// compared cells, cancelling uniform machine-speed differences so the
 	// gate catches cells that regressed relative to the rest of the suite
@@ -35,9 +43,30 @@ type CellDelta struct {
 	CurWall   float64
 	Ratio     float64 // CurWall/BaseWall, calibrated if requested
 	RawRatio  float64
-	Gated     bool // participates in the regression gate
+	Tol       float64 // tolerance applied to this cell (after PerExperiment)
+	Gated     bool    // participates in the regression gate
 	Regressed bool
 	RowsDrift bool // deterministic row values differ from the baseline
+}
+
+// tolFor resolves the tolerance for one experiment ID.
+func (o CompareOptions) tolFor(expID string) float64 {
+	if v, ok := o.PerExperiment[expID]; ok {
+		return v
+	}
+	// Case-insensitive fallback, scanned in sorted key order so that even a
+	// map holding two fold-equal keys resolves the same way on every run.
+	keys := make([]string, 0, len(o.PerExperiment))
+	for k := range o.PerExperiment {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if strings.EqualFold(k, expID) {
+			return o.PerExperiment[k]
+		}
+	}
+	return o.Tolerance
 }
 
 // Comparison is the outcome of Compare.
@@ -65,10 +94,11 @@ func (c *Comparison) OK() bool {
 	return len(c.Deltas) > 0 && len(c.Regressions) == 0 && len(c.Dropped) == 0
 }
 
-// Table renders the comparison as a metrics table.
-func (c *Comparison) Table(tolerance float64) *metrics.Table {
+// Table renders the comparison as a metrics table. Each cell carries its
+// own allowed ratio (per-experiment tolerance overrides make them differ).
+func (c *Comparison) Table() *metrics.Table {
 	t := metrics.NewTable("perf comparison vs baseline",
-		"cell", "base", "current", "ratio", "gated", "verdict")
+		"cell", "base", "current", "ratio", "allowed", "gated", "verdict")
 	for _, d := range c.Deltas {
 		verdict := "ok"
 		if d.Regressed {
@@ -80,10 +110,11 @@ func (c *Comparison) Table(tolerance float64) *metrics.Table {
 			fmt.Sprintf("%.3fs", d.BaseWall),
 			fmt.Sprintf("%.3fs", d.CurWall),
 			fmt.Sprintf("%.2fx", d.Ratio),
+			fmt.Sprintf("%.2fx", 1+d.Tol),
 			metrics.B(d.Gated), verdict)
 	}
-	t.Notes = fmt.Sprintf("median raw ratio %.2fx; gate: ratio > %.2fx on cells slower than the noise floor",
-		c.Median, 1+tolerance)
+	t.Notes = fmt.Sprintf("median raw ratio %.2fx; gate: ratio > allowed on cells slower than the noise floor",
+		c.Median)
 	return t
 }
 
@@ -126,7 +157,7 @@ func Compare(base, cur *Report, o CompareOptions) *Comparison {
 				cmp.Missing = append(cmp.Missing, key+" (not in baseline)")
 				continue
 			}
-			d := CellDelta{Key: key}
+			d := CellDelta{Key: key, Tol: o.tolFor(exp.ID)}
 			if !rowsEqual(b.cell.Rows, c.Rows, measured) {
 				d.RowsDrift = true
 				cmp.Drift = append(cmp.Drift, key)
@@ -177,11 +208,11 @@ func Compare(base, cur *Report, o CompareOptions) *Comparison {
 		if o.Calibrate && cmp.Median > 0 {
 			d.Ratio = d.RawRatio / cmp.Median
 		}
-		if d.Gated && d.Ratio > 1+o.Tolerance {
+		if d.Gated && d.Ratio > 1+d.Tol {
 			d.Regressed = true
 			cmp.Regressions = append(cmp.Regressions,
 				fmt.Sprintf("%s: %.3fs -> %.3fs (%.2fx > %.2fx allowed)",
-					d.Key, d.BaseWall, d.CurWall, d.Ratio, 1+o.Tolerance))
+					d.Key, d.BaseWall, d.CurWall, d.Ratio, 1+d.Tol))
 		}
 	}
 	return cmp

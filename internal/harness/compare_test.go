@@ -72,6 +72,66 @@ func TestCompareCalibrationCancelsUniformSlowdown(t *testing.T) {
 	}
 }
 
+// twoExpReport builds a synthetic two-experiment report (IDs EX and EY)
+// with one cell each at the given wall times.
+func twoExpReport(exWall, eyWall float64) *harness.Report {
+	mk := func(id string, w float64) harness.ReportExperiment {
+		return harness.ReportExperiment{
+			ID: id, Group: id, Title: "synthetic",
+			Columns: []string{"k"},
+			Cells: []harness.ReportCell{
+				{Cell: "a", Seed: 1, Perf: &harness.Perf{WallSec: w}},
+			},
+		}
+	}
+	return &harness.Report{
+		Schema:      harness.Schema,
+		Experiments: []harness.ReportExperiment{mk("EX", exWall), mk("EY", eyWall)},
+	}
+}
+
+func TestComparePerExperimentTolerance(t *testing.T) {
+	// EY is 35% slower: past the 0.30 default, inside a 0.40 override.
+	base := twoExpReport(1.0, 1.0)
+	cur := twoExpReport(1.0, 1.35)
+
+	cmp := harness.Compare(base, cur, harness.CompareOptions{Tolerance: 0.30})
+	if cmp.OK() {
+		t.Fatal("35% slowdown passed the 30% default gate")
+	}
+
+	// The override is matched case-insensitively against the experiment ID.
+	cmp = harness.Compare(base, cur, harness.CompareOptions{
+		Tolerance:     0.30,
+		PerExperiment: map[string]float64{"ey": 0.40},
+	})
+	if !cmp.OK() {
+		t.Fatalf("EY=0.40 override did not admit a 35%% slowdown on EY: %v", cmp.Regressions)
+	}
+	for _, d := range cmp.Deltas {
+		want := 0.30
+		if strings.HasPrefix(d.Key, "EY/") {
+			want = 0.40
+		}
+		if d.Tol != want {
+			t.Errorf("%s: Tol = %v, want %v", d.Key, d.Tol, want)
+		}
+	}
+
+	// The override must not loosen the other experiments: the same slowdown
+	// on EX still fails with only EY overridden.
+	cmp = harness.Compare(base, twoExpReport(1.35, 1.0), harness.CompareOptions{
+		Tolerance:     0.30,
+		PerExperiment: map[string]float64{"EY": 0.40},
+	})
+	if cmp.OK() {
+		t.Fatal("EY override leaked onto EX's gate")
+	}
+	if len(cmp.Regressions) != 1 || !strings.Contains(cmp.Regressions[0], "EX/a/seed=1") {
+		t.Errorf("regressions = %v, want exactly EX/a/seed=1", cmp.Regressions)
+	}
+}
+
 func TestCompareNoiseFloorExemptsFastCells(t *testing.T) {
 	base := report(map[string]float64{"a": 0.001, "b": 1.0}, nil)
 	cur := report(map[string]float64{"a": 0.010, "b": 1.0}, nil) // 10x on a 1ms cell

@@ -1,5 +1,5 @@
 // Package harness is the registry-based experiment runner behind
-// cmd/chabench. Every experiment of the reproduction suite (E1–E13)
+// cmd/chabench. Every experiment of the reproduction suite (E1–E14)
 // registers a Descriptor — a name, a parameter grid, a seed list and a run
 // function returning typed rows — instead of printing an ad-hoc table. The
 // harness fans experiment×parameter×seed cells out over a bounded worker
@@ -265,7 +265,7 @@ func Select(only string) ([]Descriptor, error) {
 	}
 	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		return nil, fmt.Errorf("unknown experiment %q (want E1..E13 or a sub-ID like E2a)", strings.Join(unknown, ","))
+		return nil, fmt.Errorf("unknown experiment %q (want E1..E14 or a sub-ID like E2a)", strings.Join(unknown, ","))
 	}
 	return out, nil
 }

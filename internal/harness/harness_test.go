@@ -6,26 +6,26 @@ import (
 	"strings"
 	"testing"
 
-	_ "vinfra/internal/experiments" // registers E1..E13
+	_ "vinfra/internal/experiments" // registers E1..E14
 	"vinfra/internal/harness"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := harness.All()
-	if len(all) != 20 {
-		t.Fatalf("registry has %d descriptors, want 20 (E1..E13 sub-tables)", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d descriptors, want 21 (E1..E14 sub-tables)", len(all))
 	}
 	groups := map[string]bool{}
 	for _, d := range all {
 		groups[d.Group] = true
 	}
-	for _, g := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+	for _, g := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
 		if !groups[g] {
 			t.Errorf("group %s not registered", g)
 		}
 	}
-	// Natural order: E1 first, E13 last (lexical order would put E10 second).
-	if all[0].ID != "E1" || all[len(all)-1].ID != "E13" {
+	// Natural order: E1 first, E14 last (lexical order would put E10 second).
+	if all[0].ID != "E1" || all[len(all)-1].ID != "E14" {
 		ids := make([]string, len(all))
 		for i, d := range all {
 			ids[i] = d.ID
@@ -39,7 +39,7 @@ func TestSelect(t *testing.T) {
 		only string
 		want int
 	}{
-		{"", 20},
+		{"", 21},
 		{"E2", 3},
 		{"e2a", 1},
 		{"E2a,E10", 2},

@@ -42,6 +42,11 @@ type Engine struct {
 	mobFn    func(lo, hi int)
 	txFn     func(lo, hi int)
 	rxFn     func(lo, hi int)
+
+	// plane, when non-nil, replaces the single-medium delivery path with
+	// the region-sharded one (WithRegionShards): per-shard mediums over
+	// shard-owned cell rectangles with a boundary-band halo exchange.
+	plane *shardPlane
 }
 
 // RoundHook observes a completed round: the transmissions that occurred and
@@ -85,6 +90,11 @@ type Stats struct {
 	Transmissions  int // total broadcast attempts
 	MaxMessageSize int // largest accounted message size seen
 	TotalBytes     int // sum of accounted message sizes
+	// HaloTransmissions counts boundary-band transmission copies handed to
+	// neighboring shards by the region-sharded engine (zero on the
+	// single-medium path) — the cross-shard traffic a distributed runner
+	// would put on the wire.
+	HaloTransmissions int
 }
 
 type nodeState struct {
@@ -332,17 +342,24 @@ func (e *Engine) Step() {
 	}
 	e.shard(e.mobFn)
 
-	txs := e.collectTransmissions(r)
-
-	rxs := e.medium.Deliver(r, txs, e.info)
-	if len(rxs) != len(e.nodes) {
-		panic(fmt.Sprintf("sim: medium returned %d receptions for %d nodes", len(rxs), len(e.nodes)))
+	var txs []Transmission
+	var rxs []Reception
+	if e.plane != nil {
+		txs, rxs = e.plane.round(e, r)
+	} else {
+		txs = e.collectTransmissions(r)
+		rxs = e.medium.Deliver(r, txs, e.info)
+		if len(rxs) != len(e.nodes) {
+			panic(fmt.Sprintf("sim: medium returned %d receptions for %d nodes", len(rxs), len(e.nodes)))
+		}
+		e.deliver(r, rxs)
 	}
-
-	e.deliver(r, rxs)
 
 	e.stats.Rounds++
 	e.stats.Transmissions += len(txs)
+	if e.plane != nil {
+		e.stats.HaloTransmissions += e.plane.halo
+	}
 	for _, tx := range txs {
 		sz := MessageSize(tx.Msg)
 		e.stats.TotalBytes += sz

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"vinfra/internal/shard"
+)
+
+// WithRegionShards partitions the world into a cols x rows grid of
+// shard-owned cell rectangles (cells of side cellSize, which must be at
+// least the medium's interference radius) and gives each shard its own
+// Medium from factory. Each round, after mobility, every alive node is
+// assigned to the shard owning its cell; each shard collects its
+// residents' transmissions and delivers to its residents only, with
+// boundary-band transmissions (cells within one cell — i.e. within the
+// interference radius — of a shard edge) copied to the neighboring shards
+// before delivery. Merges are keyed by (cell, node) order: residents,
+// candidate transmissions and receptions are all assembled by walking the
+// alive list in NodeID order, so the output is byte-identical to the
+// single-medium engine for any shard count — provided the Medium derives
+// each reception only from the receiver, the round and the transmissions
+// within the interference radius (the radio.Medium contract; see the
+// Medium docs in types.go).
+//
+// Under WithParallel the shards run concurrently (one goroutine per shard
+// by default, or chunked over WithWorkers workers); without it they run
+// sequentially, byte-identical either way.
+func WithRegionShards(cols, rows int, cellSize float64, factory func() Medium) Option {
+	return func(e *Engine) {
+		plan, err := shard.NewPlan(cellSize, cols, rows)
+		if err != nil {
+			panic("sim: WithRegionShards: " + err.Error())
+		}
+		if factory == nil {
+			panic("sim: WithRegionShards requires a Medium factory")
+		}
+		sp := &shardPlane{plan: plan}
+		for i := 0; i < plan.Shards(); i++ {
+			m := factory()
+			if m == nil {
+				panic("sim: WithRegionShards factory returned a nil Medium")
+			}
+			sp.mediums = append(sp.mediums, m)
+		}
+		sp.resident = make([][]*nodeState, plan.Shards())
+		sp.infos = make([][]NodeInfo, plan.Shards())
+		sp.cands = make([][]Transmission, plan.Shards())
+		e.plane = sp
+	}
+}
+
+// RegionShards returns the number of region shards (0 when the engine runs
+// the single-medium path).
+func (e *Engine) RegionShards() int {
+	if e.plane == nil {
+		return 0
+	}
+	return e.plane.plan.Shards()
+}
+
+// shardPlane owns the region-sharded round state: the partition plan, one
+// Medium per shard, and per-shard resident/candidate buffers reused across
+// rounds (the steady-state sharded loop allocates nothing of its own).
+type shardPlane struct {
+	plan    *shard.Plan
+	mediums []Medium
+
+	// Per-shard views, rebuilt (in NodeID order) every round.
+	resident [][]*nodeState   // alive nodes owned by each shard
+	infos    [][]NodeInfo     // the shard medium's view of its residents
+	cands    [][]Transmission // candidate transmissions per shard (own + halo)
+
+	cellX, cellY []int64     // per-alive-index cell coords, one partition pass
+	rxs          []Reception // global receptions, indexed by NodeID
+	halo         int         // boundary-band copies scattered this round
+
+	// Cached fan-out closures (the engine's mobFn idiom: building them per
+	// round would allocate because Shard moves them to the heap).
+	txFn func(lo, hi int)
+	rxFn func(lo, hi int)
+	eng  *Engine
+}
+
+// round runs the sharded transmit/deliver/receive phases for round r,
+// after the engine has applied faults, crashes and mobility. It returns
+// the merged transmission list and the global reception slice (indexed by
+// NodeID, like the single-medium path) for stats and hooks.
+func (sp *shardPlane) round(e *Engine, r Round) ([]Transmission, []Reception) {
+	sp.eng = e
+	sp.partition(e)
+	txs := sp.collect(e)
+	sp.scatter(txs)
+	sp.deliverAndReceive(e, r)
+	return txs, sp.rxs
+}
+
+// partition assigns every alive node to the shard owning its post-mobility
+// cell. Fitting the shard grid to the occupied cell bounding box each
+// round keeps the split meaningful under mobility and churn; both passes
+// walk the alive list in NodeID order, so each shard's resident (and info)
+// slice is NodeID-ordered by construction.
+func (sp *shardPlane) partition(e *Engine) {
+	for s := range sp.resident {
+		sp.resident[s] = sp.resident[s][:0]
+		sp.infos[s] = sp.infos[s][:0]
+		sp.cands[s] = sp.cands[s][:0]
+	}
+	n := len(e.alive)
+	if n == 0 {
+		return
+	}
+	if cap(sp.cellX) < n {
+		sp.cellX = make([]int64, n)
+		sp.cellY = make([]int64, n)
+	}
+	cellX, cellY := sp.cellX[:n], sp.cellY[:n]
+	var minCX, minCY, maxCX, maxCY int64 = math.MaxInt64, math.MaxInt64, math.MinInt64, math.MinInt64
+	for i, st := range e.alive {
+		cx, cy := sp.plan.CellOf(st.pos)
+		cellX[i], cellY[i] = cx, cy
+		if cx < minCX {
+			minCX = cx
+		}
+		if cx > maxCX {
+			maxCX = cx
+		}
+		if cy < minCY {
+			minCY = cy
+		}
+		if cy > maxCY {
+			maxCY = cy
+		}
+	}
+	sp.plan.Fit(minCX, minCY, maxCX, maxCY)
+	for i, st := range e.alive {
+		s := sp.plan.Owner(cellX[i], cellY[i])
+		sp.resident[s] = append(sp.resident[s], st)
+		sp.infos[s] = append(sp.infos[s], NodeInfo{ID: st.id, At: st.pos, Alive: true})
+	}
+}
+
+// collect fans Transmit out across the shards (writing the engine's
+// per-node slots) and merges the non-nil results over the global alive
+// list, so the transmission order is NodeID order — identical to the
+// single-medium engine regardless of shard count or scheduling.
+func (sp *shardPlane) collect(e *Engine) []Transmission {
+	if len(e.txSlots) < len(e.nodes) {
+		e.txSlots = make([]Message, len(e.nodes))
+	}
+	if sp.txFn == nil {
+		sp.txFn = func(lo, hi int) {
+			e := sp.eng
+			for s := lo; s < hi; s++ {
+				for _, st := range sp.resident[s] {
+					e.txSlots[st.id] = st.node.Transmit(e.curRound)
+				}
+			}
+		}
+	}
+	Shard(len(sp.resident), sp.workers(e), sp.txFn)
+	e.txs = e.txs[:0]
+	for _, st := range e.alive {
+		if m := e.txSlots[st.id]; m != nil {
+			e.txs = append(e.txs, Transmission{Sender: st.id, From: st.pos, Msg: m})
+			e.txSlots[st.id] = nil // drop the reference for GC
+		}
+	}
+	return e.txs
+}
+
+// scatter hands every transmission to each shard whose rectangle its 3x3
+// cell halo intersects: the owning shard always, plus the neighbors when
+// the sender sits in the boundary band (within one cell of a shard edge).
+// This is the round-edge boundary exchange — each shard medium sees a
+// candidate superset covering the interference radius around every one of
+// its residents. txs is NodeID-ordered, so each shard's candidate list is
+// too (the deterministic merge key: cells ordered by their senders).
+func (sp *shardPlane) scatter(txs []Transmission) {
+	sp.halo = 0
+	if sp.plan.Shards() == 1 {
+		sp.cands[0] = append(sp.cands[0], txs...)
+		return
+	}
+	cols := sp.plan.Cols()
+	for i := range txs {
+		cx, cy := sp.plan.CellOf(txs[i].From)
+		own := sp.plan.Owner(cx, cy)
+		c0, c1, r0, r1 := sp.plan.HaloSpan(cx, cy)
+		for sr := r0; sr <= r1; sr++ {
+			for sc := c0; sc <= c1; sc++ {
+				s := sr*cols + sc
+				sp.cands[s] = append(sp.cands[s], txs[i])
+				if s != own {
+					sp.halo++
+				}
+			}
+		}
+	}
+}
+
+// deliverAndReceive runs each shard's Deliver over its residents and
+// candidates, scatters the shard receptions into the global NodeID-indexed
+// slice, and fans Receive out — all within the shard, so a parallel run
+// touches disjoint state per worker. Dead (or never-resident) nodes get
+// the empty reception, exactly like a single Medium's output.
+func (sp *shardPlane) deliverAndReceive(e *Engine, r Round) {
+	n := len(e.nodes)
+	if cap(sp.rxs) < n {
+		sp.rxs = make([]Reception, n)
+	}
+	sp.rxs = sp.rxs[:n]
+	for i := range sp.rxs {
+		sp.rxs[i] = Reception{Round: r}
+	}
+	if sp.rxFn == nil {
+		sp.rxFn = func(lo, hi int) {
+			e := sp.eng
+			for s := lo; s < hi; s++ {
+				res := sp.resident[s]
+				if len(res) == 0 {
+					continue
+				}
+				out := sp.mediums[s].Deliver(e.curRound, sp.cands[s], sp.infos[s])
+				if len(out) != len(res) {
+					panic(fmt.Sprintf("sim: shard %d medium returned %d receptions for %d residents",
+						s, len(out), len(res)))
+				}
+				for i, st := range res {
+					sp.rxs[st.id] = out[i]
+					st.node.Receive(e.curRound, out[i])
+				}
+			}
+		}
+	}
+	Shard(len(sp.resident), sp.workers(e), sp.rxFn)
+}
+
+// workers returns the fan-out width for the per-shard loops: sequential
+// without WithParallel, one goroutine per shard by default under it, or
+// the explicit WithWorkers bound (contiguous shard chunks per worker).
+func (sp *shardPlane) workers(e *Engine) int {
+	if !e.parallel {
+		return 1
+	}
+	if e.workers > 0 {
+		return e.workers
+	}
+	return len(sp.resident)
+}

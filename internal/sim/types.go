@@ -8,6 +8,18 @@
 // The engine is deterministic: a given seed reproduces a run bit-for-bit.
 // Nodes share no state, so their per-round step functions may run
 // concurrently (one goroutine per node) without affecting determinism.
+//
+// The determinism contract extends across partitioning. The region-sharded
+// engine (WithRegionShards) splits the world into shard-owned cell
+// rectangles and runs one Medium per shard, but every cross-shard merge —
+// collected transmissions, delivered receptions, halo accounting — happens
+// in (cell, node) order keyed by NodeID, never in goroutine-completion or
+// map-iteration order. A run is therefore byte-identical for every shard
+// count, sequential or parallel: shards decide only where work executes,
+// never what order its results take. Code in the sharded path must
+// preserve this — merge through the NodeID-indexed slices, and derive any
+// per-shard randomness from (seed, round, node), never from the shard
+// index.
 package sim
 
 import (
@@ -73,10 +85,19 @@ type NodeInfo struct {
 	Alive bool
 }
 
-// Medium computes, for one round, what every node receives given the set of
-// transmissions. rxs lists every attached node (alive or crashed) in ID
-// order; the returned slice is indexed identically. Entries for crashed
-// nodes are ignored.
+// Medium computes, for one round, what every listed node receives given the
+// set of transmissions. rxs lists the receivers to compute, in NodeID
+// order; the returned slice is indexed positionally (entry i answers
+// rxs[i]). Entries for crashed nodes are ignored. On the single-medium
+// path the engine passes every attached node (alive or crashed); the
+// region-sharded engine (WithRegionShards) instead passes each shard
+// medium only its own residents, together with every transmission within
+// the interference radius of any of them — so a Medium must derive each
+// reception only from (round, receiver, the transmissions within the
+// interference radius of that receiver) and per-(round, receiver)-keyed
+// randomness, never from the receiver set as a whole or from txs beyond
+// the radius. radio.Medium satisfies this, which is what makes sharded
+// delivery byte-identical to sequential delivery.
 //
 // Both slice arguments are engine-owned buffers reused across rounds, so a
 // Medium must not retain them past the call; symmetrically, the engine

@@ -85,3 +85,32 @@ func probeOrder(m map[string]int, ch chan<- string) {
 		ch <- k
 	}
 }
+
+// shardMergeUnsorted models the bug the region-sharded engine must avoid:
+// folding per-shard result maps into one output in map iteration order
+// makes the merged stream depend on the shard count and hash layout.
+func shardMergeUnsorted(shards []map[int64]string, out chan<- string) {
+	for _, m := range shards {
+		for _, v := range m {
+			out <- v // want `channel send`
+		}
+	}
+}
+
+// shardMergeSorted is the deterministic merge the sharded engine's
+// contract requires: collect every (cell, value) pair, order by cell key,
+// then emit — the result is identical for any shard partition. No finding.
+func shardMergeSorted(shards []map[int64]string, out chan<- string) {
+	var cells []int64
+	byCell := map[int64]string{}
+	for _, m := range shards {
+		for cell, v := range m {
+			cells = append(cells, cell)
+			byCell[cell] = v
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	for _, cell := range cells {
+		out <- byCell[cell]
+	}
+}

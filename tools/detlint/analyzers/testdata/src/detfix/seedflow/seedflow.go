@@ -61,3 +61,18 @@ func derived(c Config, cell int) Config {
 func throwaway() Config {
 	return Config{Seed: time.Now().UnixNano()} //detlint:rand throwaway bench config, never replayed
 }
+
+// shardSeed derives a per-shard medium seed from the deployment seed and
+// the shard index through the hash primitive — the region-sharded
+// engine's idiom (every shard medium may also just share the deployment
+// seed verbatim; both lineages are clean). No finding.
+func shardSeed(seed int64, shard int) Config {
+	return Config{Seed: hashKeys(seed, int64(shard))}
+}
+
+// shardSeedFromClock breaks the shard determinism contract at its root:
+// shards seeded off the wall clock can never replay, let alone agree with
+// a differently-sharded run.
+func shardSeedFromClock(shard int) Config {
+	return Config{Seed: time.Now().UnixNano() + int64(shard)} // want `ambient source \(time\.Now\)`
+}

@@ -131,6 +131,11 @@ func TestPolicy(t *testing.T) {
 		want       string
 	}{
 		{"vinfra/internal/sim", "maporder,wirecomplete,globalrand,seedflow,walltime"},
+		// The region-sharded engine's packages inherit the full
+		// deterministic policy: the shard merge order and per-shard medium
+		// seeds are exactly what maporder and seedflow exist to protect.
+		{"vinfra/internal/shard", "maporder,wirecomplete,globalrand,seedflow,walltime"},
+		{"vinfra/internal/experiments", "maporder,wirecomplete,globalrand,seedflow,walltime"},
 		{"vinfra/internal/harness", "maporder,wirecomplete,globalrand,seedflow"},
 		{"vinfra", "maporder,wirecomplete,globalrand,seedflow,walltime"},
 		{"vinfra/cmd/chabench", "maporder,wirecomplete"},
