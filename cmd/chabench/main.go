@@ -121,10 +121,25 @@ func main() {
 	)
 	flag.Var(&tolerance, "tolerance",
 		"allowed fractional slowdown per cell for -compare, with optional per-experiment overrides (\"0.30,E14=0.40\")")
+	soak := registerSoakFlags()
 	flag.Parse()
 
 	if *compare != "" {
 		os.Exit(runCompare(*compare, *baseline, tolerance, *calibrate, *minWall))
+	}
+	if soak.exp != "" {
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
+				os.Exit(1)
+			}
+			code := runSoak(soak, *quick, f)
+			f.Close()
+			os.Exit(code)
+		}
+		os.Exit(runSoak(soak, *quick, out))
 	}
 
 	seeds, err := parseSeeds(*seedsStr)

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildChabench compiles the binary once into a temp dir so the soak
+// tests exercise real process boundaries, not in-process calls.
+func buildChabench(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "chabench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSoakSegmentedAcrossProcesses is the kill-and-restore half of the
+// golden soak property: running a quick E11 and E13 cell as three
+// segments — each a fresh process, resumed from the checkpoint file the
+// previous process wrote before exiting — produces stdout byte-identical
+// to one uninterrupted process. This is the mechanism the nightly CI
+// soaks rely on to span job restarts.
+func TestSoakSegmentedAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the chabench binary")
+	}
+	bin := buildChabench(t)
+
+	run := func(args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\nstderr: %s", bin, args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+
+	for _, exp := range []string{"E11", "E13"} {
+		ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+		straight := run("-soak", exp, "-quick")
+		if len(straight) == 0 {
+			t.Fatalf("%s: straight run produced no output", exp)
+		}
+		// Quick cells run 8 vrounds: 3 + 3 + 2 = three processes.
+		seg1 := run("-soak", exp, "-quick", "-checkpoint", ckpt, "-checkpoint-every", "3")
+		seg2 := run("-soak", exp, "-quick", "-restore", ckpt, "-checkpoint", ckpt, "-checkpoint-every", "3")
+		final := run("-soak", exp, "-quick", "-restore", ckpt)
+		if len(seg1) != 0 || len(seg2) != 0 {
+			t.Fatalf("%s: suspended segment wrote to stdout", exp)
+		}
+		if !bytes.Equal(final, straight) {
+			t.Fatalf("%s: segmented output differs from uninterrupted run:\nsegmented:\n%s\nstraight:\n%s",
+				exp, final, straight)
+		}
+	}
+}
+
+// TestSoakWritesFinalCheckpoint pins the CI artifact contract: a
+// completing -soak invocation with -checkpoint set leaves a readable
+// checkpoint file behind.
+func TestSoakWritesFinalCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the chabench binary")
+	}
+	bin := buildChabench(t)
+	ckpt := filepath.Join(t.TempDir(), "final.ckpt")
+	cmd := exec.Command(bin, "-soak", "E11", "-quick", "-checkpoint", ckpt)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	info, err := os.Stat(ckpt)
+	if err != nil {
+		t.Fatalf("final checkpoint not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("final checkpoint is empty")
+	}
+}

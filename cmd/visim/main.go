@@ -9,6 +9,14 @@
 //
 //	visim -grid 3x3 -targets 2 -devices 4 -vrounds 120 -seed 7
 //	visim -grid 8x8 -devices 16 -parallel   # shard rounds across cores
+//
+// A run can be suspended into a checkpoint file and resumed by a later
+// process with identical results (the flags must match, since the
+// checkpoint carries state, not configuration):
+//
+//	visim -vrounds 120 -checkpoint run.ckpt -checkpoint-every 40
+//	visim -vrounds 120 -restore run.ckpt -checkpoint run.ckpt -checkpoint-every 40
+//	visim -vrounds 120 -restore run.ckpt    # final segment prints the tables
 package main
 
 import (
@@ -19,12 +27,14 @@ import (
 	"vinfra/internal/apps"
 	"vinfra/internal/cd"
 	"vinfra/internal/cha"
+	"vinfra/internal/checkpoint"
 	"vinfra/internal/geo"
 	"vinfra/internal/metrics"
 	"vinfra/internal/mobility"
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 func main() {
@@ -35,7 +45,14 @@ func main() {
 	vrounds := flag.Int("vrounds", 60, "virtual rounds to simulate")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Bool("parallel", false, "shard round delivery and node fan-out across CPU cores (same seed, same output)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file to write (at -checkpoint-every, and when the run completes)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "suspend to -checkpoint after this many virtual rounds in this invocation (0 = run to completion)")
+	restorePath := flag.String("restore", "", "resume from this checkpoint file (all other flags must match the suspended run)")
 	flag.Parse()
+	if *ckptEvery > 0 && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "visim: -checkpoint-every needs -checkpoint FILE to write to")
+		os.Exit(2)
+	}
 
 	var cols, rows int
 	if _, err := fmt.Sscanf(*gridSpec, "%dx%d", &cols, &rows); err != nil || cols < 1 || rows < 1 {
@@ -123,7 +140,66 @@ func main() {
 	fmt.Printf("devices: %d emulators, %d targets; running %d virtual rounds (%d radio rounds)\n\n",
 		len(locs)**devices, *targets, *vrounds, *vrounds*per)
 
-	eng.Run(*vrounds * per)
+	// Checkpoint driver state: the vround cursor plus the hook counters the
+	// engine snapshot cannot see (they live in this function's closures).
+	driverState := func(vr int) []byte {
+		b := wire.AppendUvarint(nil, uint64(vr))
+		b = wire.AppendUvarint(b, uint64(joins))
+		b = wire.AppendUvarint(b, uint64(resets))
+		for v := range locs {
+			b = wire.AppendUvarint(b, uint64(greens[v]))
+			b = wire.AppendUvarint(b, uint64(outputs[v]))
+		}
+		return b
+	}
+	startVR := 0
+	if *restorePath != "" {
+		cp, err := checkpoint.ReadFile(*restorePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visim: %v\n", err)
+			os.Exit(1)
+		}
+		err = medium.Restore(cp.Medium)
+		if err == nil {
+			err = eng.Restore(cp.Engine)
+		}
+		if err == nil {
+			d := wire.Dec(cp.Driver)
+			startVR = int(d.Uvarint())
+			joins, resets = int(d.Uvarint()), int(d.Uvarint())
+			for v := range locs {
+				greens[v] = int(d.Uvarint())
+				outputs[v] = int(d.Uvarint())
+			}
+			err = d.Finish()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visim: restore %s: %v (do the flags match the suspended run?)\n", *restorePath, err)
+			os.Exit(1)
+		}
+	}
+
+	stepped := 0
+	for vr := startVR; vr < *vrounds; vr++ {
+		if *ckptEvery > 0 && stepped == *ckptEvery {
+			cp := checkpoint.Checkpoint{Engine: eng.Snapshot(), Medium: medium.Snapshot(), Driver: driverState(vr)}
+			if err := cp.WriteFile(*ckptPath); err != nil {
+				fmt.Fprintf(os.Stderr, "visim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "visim: suspended at vround %d/%d -> %s\n", vr, *vrounds, *ckptPath)
+			return
+		}
+		eng.Run(per)
+		stepped++
+	}
+	if *ckptPath != "" {
+		cp := checkpoint.Checkpoint{Engine: eng.Snapshot(), Medium: medium.Snapshot(), Driver: driverState(*vrounds)}
+		if err := cp.WriteFile(*ckptPath); err != nil {
+			fmt.Fprintf(os.Stderr, "visim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	vnTable := metrics.NewTable("virtual nodes", "vn", "location", "slot", "availability")
 	for v, loc := range locs {

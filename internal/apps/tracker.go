@@ -265,3 +265,24 @@ func (c *ObserverClient) Lookup(name string) (Sighting, bool) {
 
 // Known returns the number of distinct targets the observer has seen.
 func (c *ObserverClient) Known() int { return len(c.state.Sightings) }
+
+// AppendState implements sim.Snapshotter: the accumulated sightings are
+// the observer's only mutable state, serialized with the same canonical
+// encoding the tracker program uses for its virtual-node state.
+func (c *ObserverClient) AppendState(dst []byte) []byte {
+	return encodeTrackerState(dst, c.state)
+}
+
+// RestoreState implements sim.Snapshotter.
+func (c *ObserverClient) RestoreState(data []byte) error {
+	d := wire.Dec(data)
+	s, err := decodeTrackerState(&d)
+	if err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	c.state = s
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package checkpoint composes the per-layer snapshots into one versioned,
+// self-validating checkpoint file: the engine layer (sim.EngineSnapshot,
+// which carries every node's Snapshotter blob), the medium's configuration
+// fingerprint, the vi.Monitor accounting, and an opaque driver blob for
+// whatever the experiment loop itself must remember (virtual-round cursor,
+// churn counters, rosters). Encode frames the body with a magic string, a
+// format version and a trailing wire.Digest, so ReadFile can reject
+// truncated, corrupted or foreign files before any layer sees the bytes.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+	"vinfra/internal/wire"
+)
+
+// magic identifies a checkpoint file; version is the format version, bumped
+// whenever any layer's snapshot encoding changes shape.
+const (
+	magic   = "VINFCKPT"
+	version = 1
+)
+
+// Checkpoint is one suspended run: everything needed to resume it on a
+// freshly rebuilt deployment.
+type Checkpoint struct {
+	Engine  sim.EngineSnapshot
+	Medium  radio.MediumSnapshot
+	Monitor vi.MonitorSnapshot
+	// Driver is the experiment driver's own state, opaque at this layer.
+	Driver []byte
+}
+
+// AppendTo appends the canonical encoding of the checkpoint body (without
+// the file framing; see Encode) to dst.
+func (c Checkpoint) AppendTo(dst []byte) []byte {
+	dst = wire.AppendBytes(dst, c.Engine.AppendTo(nil))
+	dst = wire.AppendBytes(dst, c.Medium.AppendTo(nil))
+	dst = wire.AppendBytes(dst, c.Monitor.AppendTo(nil))
+	return wire.AppendBytes(dst, c.Driver)
+}
+
+// WireSize returns the exact encoded size of the checkpoint body.
+func (c Checkpoint) WireSize() int {
+	return wire.BytesSize(c.Engine.WireSize()) +
+		wire.BytesSize(c.Medium.WireSize()) +
+		wire.BytesSize(c.Monitor.WireSize()) +
+		wire.BytesSize(len(c.Driver))
+}
+
+// DecodeCheckpoint decodes one checkpoint body from b, which must contain
+// exactly one encoding.
+func DecodeCheckpoint(b []byte) (Checkpoint, error) {
+	d := wire.Dec(b)
+	var c Checkpoint
+	eng, err := sim.DecodeEngineSnapshot(d.Bytes())
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	c.Engine = eng
+	med, err := radio.DecodeMediumSnapshot(d.Bytes())
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	c.Medium = med
+	mon, err := vi.DecodeMonitorSnapshot(d.Bytes())
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	c.Monitor = mon
+	c.Driver = append([]byte(nil), d.Bytes()...)
+	if err := d.Finish(); err != nil {
+		return Checkpoint{}, err
+	}
+	return c, nil
+}
+
+// Encode frames the checkpoint for storage: magic, version, length-prefixed
+// body, and an FNV-1a digest of everything before it.
+func (c Checkpoint) Encode() []byte {
+	out := append([]byte(nil), magic...)
+	out = wire.AppendUvarint(out, version)
+	out = wire.AppendBytes(out, c.AppendTo(nil))
+	return wire.AppendUint64(out, uint64(wire.DigestOf(out)))
+}
+
+// Decode parses a framed checkpoint produced by Encode, validating magic,
+// version and digest.
+func Decode(b []byte) (Checkpoint, error) {
+	if len(b) < len(magic)+1+8 || string(b[:len(magic)]) != magic {
+		return Checkpoint{}, fmt.Errorf("checkpoint: not a checkpoint file")
+	}
+	body := b[:len(b)-8]
+	d := wire.Dec(b[len(b)-8:])
+	if got, want := d.Uint64(), uint64(wire.DigestOf(body)); got != want {
+		return Checkpoint{}, fmt.Errorf("checkpoint: digest mismatch (corrupt or truncated file)")
+	}
+	d = wire.Dec(body[len(magic):])
+	if v := d.Uvarint(); v != version {
+		return Checkpoint{}, fmt.Errorf("checkpoint: format version %d, this build reads %d", v, version)
+	}
+	c, err := DecodeCheckpoint(d.Bytes())
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	if err := d.Finish(); err != nil {
+		return Checkpoint{}, err
+	}
+	return c, nil
+}
+
+// WriteFile atomically writes the framed checkpoint to path (write to a
+// temp file in the same directory, then rename), so a kill mid-write never
+// leaves a torn checkpoint behind.
+func (c Checkpoint) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, c.Encode(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile reads and validates a checkpoint written by WriteFile.
+func ReadFile(path string) (Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	return Decode(b)
+}

@@ -1,0 +1,53 @@
+// Snapshot support: every Manager in this package implements the
+// sim.Snapshotter blob contract (AppendState/RestoreState) so the vi
+// emulator can fold its contention manager's position into a checkpoint.
+// Managers are rebuilt by the deployment's Factory on restore —
+// configuration and environment are code — and only the genuinely mutable
+// fields travel in the blob.
+
+package cm
+
+import (
+	"vinfra/internal/sim"
+	"vinfra/internal/wire"
+)
+
+// AppendState records the shared election state (the current leader).
+func (f *Fixed) AppendState(dst []byte) []byte {
+	return wire.AppendVarint(dst, int64(*f.leader))
+}
+
+// RestoreState restores the shared election state. Because the leader
+// variable is shared by every Fixed built by the same factory, restoring
+// any one of them restores them all (they were snapshotted with the same
+// value, so repeated restores are idempotent).
+func (f *Fixed) RestoreState(data []byte) error {
+	d := wire.Dec(data)
+	*f.leader = sim.NodeID(d.Varint())
+	return d.Finish()
+}
+
+// AppendState records the contention window and deferral horizon.
+func (b *Backoff) AppendState(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(b.w))
+	return wire.AppendUvarint(dst, uint64(b.deferUntil))
+}
+
+// RestoreState restores the contention window and deferral horizon.
+func (b *Backoff) RestoreState(data []byte) error {
+	d := wire.Dec(data)
+	b.w = int(d.Uvarint())
+	b.deferUntil = sim.Round(d.Uvarint())
+	return d.Finish()
+}
+
+// AppendState delegates to the embedded Backoff (eligibility is a pure
+// function of position and configuration).
+func (m *Regional) AppendState(dst []byte) []byte {
+	return m.b.AppendState(dst)
+}
+
+// RestoreState delegates to the embedded Backoff.
+func (m *Regional) RestoreState(data []byte) error {
+	return m.b.RestoreState(data)
+}

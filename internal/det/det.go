@@ -75,6 +75,15 @@ func (s *Stream) Reseed(keys ...int64) {
 	s.state = HashKeys(keys...)
 }
 
+// State returns the stream's current position word. Together with SetState
+// it makes a Stream checkpointable: a stream is a single uint64, so a
+// snapshot records State() and a restore calls SetState(), after which the
+// stream produces exactly the draws the original would have.
+func (s *Stream) State() uint64 { return s.state }
+
+// SetState restores a stream position captured by State.
+func (s *Stream) SetState(v uint64) { s.state = v }
+
 // Uint64 returns the next value of the SplitMix64 sequence.
 func (s *Stream) Uint64() uint64 {
 	s.state += golden

@@ -1,14 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-	"sync"
-
-	"vinfra/internal/geo"
 	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
-	"vinfra/internal/sim"
-	"vinfra/internal/vi"
 )
 
 // e11Shapes are the metro sweep's virtual-node grids: the quick variant
@@ -71,104 +65,17 @@ func metroCell(c *harness.Cell) []harness.Row {
 	return metroRows(c, 0)
 }
 
-// metroRows runs one metro cell; the shard count exists for
-// TestShardedEqualsSequential, which pins region-sharded runs (shards > 0)
-// byte-identical to the single-medium cell under the metro churn load.
+// metroRows runs one metro cell by stepping its Soak to completion (the
+// checkpointable driver in soak.go is the single implementation of the
+// churn load); the shard count exists for TestShardedEqualsSequential,
+// which pins region-sharded runs (shards > 0) byte-identical to the
+// single-medium cell under the metro churn load.
 func metroRows(c *harness.Cell, shards int) []harness.Row {
-	cols, rows, vrounds := c.Params.Int("cols"), c.Params.Int("rows"), c.Params.Int("vrounds")
-	const replicasPer = 3
-	locs := geo.Grid{Spacing: 6, Cols: cols, Rows: rows}.Locations()
-	bed := newVIBed(viBedOpts{
-		locs:        locs,
-		replicasPer: replicasPer,
-		seed:        int64(cols*rows) + c.Base(),
-		fixedLeader: true,
-		parallel:    true,
-		shards:      shards,
-	})
-	// One client per region, staggered so pings from neighboring regions
-	// don't collide every client slot.
-	for v, loc := range locs {
-		v := v
-		bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
-			return bed.dep.NewClient(env, vi.ClientFunc(
-				func(vr int, _ []vi.Message, _ bool) *vi.Message {
-					if vr%len(locs) != v {
-						return nil
-					}
-					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
-				}))
-		})
+	s := newMetroSoak(c, shards)
+	for s.VRound() < s.VRounds() {
+		s.StepVRound()
 	}
-
-	// Hooks fire from emulator Receive calls, which the parallel engine
-	// fans out across workers: the counters need their own lock.
-	var mu sync.Mutex
-	var joinLatency metrics.Series
-	joins, resets := 0, 0
-
-	per := bed.dep.Timing().RoundsPerVRound()
-	replicas := make([][]sim.NodeID, len(locs)) // per-region, oldest first
-	for v := range locs {
-		for i := 0; i < replicasPer; i++ {
-			replicas[v] = append(replicas[v], sim.NodeID(v*replicasPer+i))
-		}
-	}
-	churn := 0
-	for vr := 0; vr < vrounds; vr++ {
-		if vr > 0 {
-			v := vr % len(locs)
-			if reg := replicas[v]; len(reg) > 1 {
-				oldest := reg[0]
-				replicas[v] = reg[1:]
-				// The departing replica is always the region's leader:
-				// hand leadership to the next-oldest before it goes, the
-				// failover a managed deployment performs.
-				bed.setLeader(vi.VNodeID(v), replicas[v][0])
-				switch churn % 3 {
-				case 0:
-					bed.eng.Leave(oldest)
-				case 1:
-					// Mid-vround crash: the replica dies between phases.
-					bed.eng.CrashAt(oldest, bed.eng.Round()+sim.Round(per/2))
-				case 2:
-					// A crash scheduled for a round that already ran: the
-					// engine applies it immediately instead of dropping it.
-					bed.eng.CrashAt(oldest, bed.eng.Round()-1)
-				}
-				arrivedAt := vr
-				newID := sim.NodeID(bed.eng.NumNodes())
-				loc := locs[v]
-				pos := geo.Point{
-					X: loc.X + 0.4*float64(churn%4) - 0.6,
-					Y: loc.Y - 0.35,
-				}
-				bed.attachEmulator(pos, false, vi.EmulatorHooks{
-					OnJoin: func(_ vi.VNodeID, joinVR int) {
-						mu.Lock()
-						joins++
-						joinLatency.AddInt(joinVR - arrivedAt)
-						mu.Unlock()
-					},
-					OnReset: func(vi.VNodeID, int) {
-						mu.Lock()
-						resets++
-						mu.Unlock()
-					},
-				})
-				replicas[v] = append(replicas[v], newID)
-				churn++
-			}
-		}
-		bed.eng.Run(per)
-	}
-	c.CountRounds(bed.eng.Stats().Rounds)
-	return []harness.Row{{
-		harness.Int(len(locs)), harness.Int(bed.eng.NumNodes()), harness.Int(vrounds),
-		harness.Int(churn), harness.Int(bed.eng.AliveCount()),
-		harness.Float(bed.meanAvailability()), harness.Float(joinLatency.Mean()),
-		harness.Int(joins), harness.Int(resets),
-	}}
+	return s.Rows()
 }
 
 // MetroChurn is the legacy-style table entry point.

@@ -2,15 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
-	"vinfra/internal/faults"
-	"vinfra/internal/geo"
 	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
-	"vinfra/internal/radio"
-	"vinfra/internal/sim"
-	"vinfra/internal/vi"
 )
 
 // E13 is the robustness grid: the full emulation stack under the
@@ -86,238 +80,19 @@ func adversaryCell(c *harness.Cell) []harness.Row {
 	return adversaryRows(c, true, 0)
 }
 
-// adversaryRows runs one robustness cell. The parallel flag and shard
+// adversaryRows runs one robustness cell by stepping its Soak to
+// completion (the checkpointable driver in soak.go is the single
+// implementation of the adversary load). The parallel flag and shard
 // count exist for the determinism property tests: descriptor cells always
 // run the parallel grid stack on a single medium, and the tests pin rows
 // byte-identical across sequential, parallel and region-sharded
 // (shards > 0) runs of the same cell.
 func adversaryRows(c *harness.Cell, parallel bool, shards int) []harness.Row {
-	kind, intensity := c.Params.Str("kind"), c.Params.Str("intensity")
-	cols, rows, vrounds := c.Params.Int("cols"), c.Params.Int("rows"), c.Params.Int("vrounds")
-	const replicasPer = 3
-	locs := geo.Grid{Spacing: 6, Cols: cols, Rows: rows}.Locations()
-	nv := len(locs)
-	// The adversary must exist before the bed (the jammer rides in the
-	// medium config), so the virtual-round length is derived up front.
-	per := vi.Timing{S: vi.BuildSchedule(locs, Radii).Len()}.RoundsPerVRound()
-	seed := int64(nv)*5 + c.Base()
-	high := intensity == "high"
-
-	var adversary radio.Adversary
-	if kind == "jam" {
-		j := &faults.RegionJammer{
-			Window:  faults.Window{From: sim.Round(per)},
-			Targets: locs,
-			Radius:  2.5, // the R1/4 region radius: replicas and client
-			Period:  4 * per,
-			Burst:   per,
-			Rotate:  (nv + 2) / 3,
-			Seed:    seed + 101,
-		}
-		if high {
-			j.Burst = 2 * per
-			j.Rotate = 0 // every region
-		}
-		adversary = j
+	s := newAdversarySoak(c, parallel, shards)
+	for s.VRound() < s.VRounds() {
+		s.StepVRound()
 	}
-
-	bed := newVIBed(viBedOpts{
-		locs:        locs,
-		replicasPer: replicasPer,
-		seed:        seed,
-		fixedLeader: true,
-		adversary:   adversary,
-		parallel:    parallel,
-		shards:      shards,
-	})
-	// One client per region, staggered so neighboring pings don't collide
-	// every client slot.
-	for v, loc := range locs {
-		v := v
-		bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
-			return bed.dep.NewClient(env, vi.ClientFunc(
-				func(vr int, _ []vi.Message, _ bool) *vi.Message {
-					if vr%4 != v%4 {
-						return nil
-					}
-					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
-				}))
-		})
-	}
-
-	// Replica bookkeeping: per-region rosters (oldest first, head = fixed
-	// leader) and the replica id set — the crash adversaries must not eat
-	// the measurement clients, and failover must hand leadership on.
-	regionReplicas := make([][]sim.NodeID, nv)
-	regionOf := map[sim.NodeID]vi.VNodeID{}
-	isReplica := map[sim.NodeID]bool{}
-	emByID := map[sim.NodeID]*vi.Emulator{}
-	for v := 0; v < nv; v++ {
-		for i := 0; i < replicasPer; i++ {
-			id := sim.NodeID(v*replicasPer + i)
-			regionReplicas[v] = append(regionReplicas[v], id)
-			regionOf[id] = vi.VNodeID(v)
-			isReplica[id] = true
-			emByID[id] = bed.emulators[int(id)]
-		}
-	}
-
-	// Hooks fire from emulator Receive calls, which the parallel engine
-	// fans out across workers: the counters need their own lock.
-	var mu sync.Mutex
-	joins, resets := 0, 0
-	countHooks := vi.EmulatorHooks{
-		OnJoin: func(vi.VNodeID, int) {
-			mu.Lock()
-			joins++
-			mu.Unlock()
-		},
-		OnReset: func(vi.VNodeID, int) {
-			mu.Lock()
-			resets++
-			mu.Unlock()
-		},
-	}
-
-	// respawn attaches a fresh (non-bootstrapped) device near region v,
-	// records it in the rosters, and returns its id. It runs on the engine
-	// goroutine only (fault Strike or between vrounds).
-	churn := 0
-	respawn := func(v vi.VNodeID) sim.NodeID {
-		loc := locs[v]
-		pos := geo.Point{
-			X: loc.X + 0.4*float64(churn%4) - 0.6,
-			Y: loc.Y - 0.35,
-		}
-		churn++
-		newID := sim.NodeID(bed.eng.NumNodes())
-		em := bed.attachEmulator(pos, false, countHooks)
-		regionReplicas[v] = append(regionReplicas[v], newID)
-		regionOf[newID] = v
-		isReplica[newID] = true
-		emByID[newID] = em
-		return newID
-	}
-
-	// dropReplica removes a dead replica from its roster and, if it led
-	// the region, promotes the oldest joined survivor (the failover a
-	// managed deployment performs).
-	dropReplica := func(victim sim.NodeID) vi.VNodeID {
-		v := regionOf[victim]
-		reg := regionReplicas[v]
-		wasHead := len(reg) > 0 && reg[0] == victim
-		for i, id := range reg {
-			if id == victim {
-				reg = append(reg[:i], reg[i+1:]...)
-				break
-			}
-		}
-		regionReplicas[v] = reg
-		if wasHead {
-			next := -1
-			for i, id := range reg {
-				if emByID[id].Joined() {
-					next = i
-					break
-				}
-			}
-			if next < 0 && len(reg) > 0 {
-				next = 0
-			}
-			if next >= 0 {
-				bed.setLeader(v, reg[next])
-			}
-		}
-		return v
-	}
-
-	// wiped[vr] is the region wiped at the start of virtual round vr; the
-	// vround loop respawns joiners there one virtual round later.
-	wiped := map[int]vi.VNodeID{}
-	switch kind {
-	case "wipe":
-		every := 5
-		if high {
-			every = 3
-		}
-		for k, w := 0, 2; w < vrounds; k, w = k+1, w+every {
-			v := vi.VNodeID(k % nv)
-			wiped[w] = v
-			bed.eng.AddFault(faults.RegionWipe{
-				Center: locs[v],
-				Radius: 1.0, // replicas, not the client
-				At:     sim.Round(w * per),
-			})
-		}
-	case "storm":
-		kills := 1
-		if high {
-			kills = 2
-		}
-		bed.eng.AddFault(&faults.ChurnStorm{
-			Window:   faults.Window{From: sim.Round(per)},
-			Period:   per, // one front per virtual round
-			Kills:    kills,
-			Seed:     seed + 211,
-			Eligible: func(id sim.NodeID) bool { return isReplica[id] },
-			Respawn: func(victim sim.NodeID, _ geo.Point) {
-				v := dropReplica(victim)
-				newID := respawn(v)
-				if len(regionReplicas[v]) == 1 {
-					// Last one standing: it will reset-revive the region
-					// and must lead it.
-					bed.setLeader(v, newID)
-				}
-			},
-		})
-	case "burst":
-		p := 0.12
-		if high {
-			p = 0.25
-		}
-		bed.eng.AddFault(&faults.CrashBurst{
-			Window: faults.Window{From: sim.Round(per)},
-			Period: 2 * per,
-			P:      p,
-			Seed:   seed + 307,
-			// Pure attrition spares the fixed leaders so degradation is
-			// graceful: regions shrink toward single-replica operation.
-			Eligible: func(id sim.NodeID) bool {
-				v, ok := regionOf[id]
-				if !ok {
-					return false
-				}
-				reg := regionReplicas[v]
-				return len(reg) > 0 && reg[0] != id
-			},
-		})
-	}
-
-	for vr := 0; vr < vrounds; vr++ {
-		if v, ok := wiped[vr-1]; ok {
-			// The region was annihilated last virtual round: two fresh
-			// devices arrive and must revive it via join/reset. The first
-			// leads the reborn region.
-			regionReplicas[v] = nil
-			first := respawn(v)
-			respawn(v)
-			bed.setLeader(v, first)
-		}
-		bed.eng.Run(per)
-	}
-
-	st := bed.eng.Stats()
-	c.CountRounds(st.Rounds)
-	c.CountBytes(st.TotalBytes)
-	sum := bed.mon.SummaryThrough(nv, vrounds)
-	return []harness.Row{{
-		harness.Int(nv), harness.Str(kind), harness.Str(intensity),
-		harness.Int(bed.eng.NumNodes()), harness.Int(bed.eng.AliveCount()),
-		harness.Int(vrounds),
-		harness.Float(sum.MeanAvailability), harness.Int(sum.Unavailable),
-		harness.Int(sum.MaxStall), harness.Float(sum.MeanRecovery),
-		harness.Int(joins), harness.Int(resets),
-	}}
+	return s.Rows()
 }
 
 // AdversaryGrid is the legacy-style table entry point.

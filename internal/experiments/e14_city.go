@@ -4,13 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"vinfra/internal/det"
-	"vinfra/internal/geo"
 	"vinfra/internal/harness"
 	"vinfra/internal/metrics"
-	"vinfra/internal/mobility"
 	"vinfra/internal/sim"
-	"vinfra/internal/vi"
+	"vinfra/internal/wire"
 )
 
 // E14 is the city-scale experiment: the full virtual-infrastructure stack
@@ -98,6 +95,20 @@ func (l *cityListener) Receive(_ sim.Round, rx sim.Reception) {
 	}
 }
 
+// AppendState implements sim.Snapshotter: the heard count is the
+// listener's only state, and it is part of the run signature, so it must
+// survive a checkpoint.
+func (l *cityListener) AppendState(dst []byte) []byte {
+	return wire.AppendUvarint(dst, uint64(l.heard))
+}
+
+// RestoreState implements sim.Snapshotter.
+func (l *cityListener) RestoreState(data []byte) error {
+	d := wire.Dec(data)
+	l.heard = int(d.Uvarint())
+	return d.Finish()
+}
+
 // citySig is the deterministic outcome of one city run. Two runs of the
 // same cell must compare equal regardless of shard count — the signature
 // covers the VI layer (availability), the background population (coverage
@@ -126,77 +137,13 @@ type cityOutcome struct {
 //
 //detlint:walltime E14 measures whole-run round-loop cost; rounds/s columns are Measured
 func cityRun(c *harness.Cell, shards int) cityOutcome {
-	devices := c.Params.Int("devices")
-	cols, rows := c.Params.Int("cols"), c.Params.Int("rows")
-	vrounds := c.Params.Int("vrounds")
-	const replicasPer = 3
-	locs := geo.Grid{Spacing: citySpacing, Cols: cols, Rows: rows}.Locations()
-	seed := int64(devices) + c.Base()
-
-	bed := newVIBed(viBedOpts{
-		locs:        locs,
-		replicasPer: replicasPer,
-		seed:        seed,
-		fixedLeader: true,
-		parallel:    true,
-		shards:      shards,
-	})
-	// One client per region, staggered so neighboring pings don't collide
-	// every client slot (the E13 stagger).
-	for v, loc := range locs {
-		v := v
-		bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
-			return bed.dep.NewClient(env, vi.ClientFunc(
-				func(vr int, _ []vi.Message, _ bool) *vi.Message {
-					if vr%4 != v%4 {
-						return nil
-					}
-					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
-				}))
-		})
-	}
-
-	// Fill the remaining device budget with wandering listeners, placed
-	// uniformly over the city by a seed-keyed stream so the population is a
-	// pure function of the cell.
-	area := geo.Rect{
-		Min: geo.Point{X: -10, Y: -10},
-		Max: geo.Point{
-			X: citySpacing*float64(cols-1) + 10,
-			Y: citySpacing*float64(rows-1) + 10,
-		},
-	}
-	rng := det.NewStream(seed + 404)
-	var listeners []*cityListener
-	for bed.eng.NumNodes() < devices {
-		l := &cityListener{}
-		listeners = append(listeners, l)
-		pos := geo.Point{
-			X: area.Min.X + rng.Float64()*area.Width(),
-			Y: area.Min.Y + rng.Float64()*area.Height(),
-		}
-		bed.eng.Attach(pos, &mobility.RandomWaypoint{Area: area, VMax: 2},
-			func(sim.Env) sim.Node { return l })
-	}
-
+	s := newCitySoak(c, shards)
 	start := time.Now()
-	bed.runVRounds(vrounds)
+	for s.VRound() < s.VRounds() {
+		s.StepVRound()
+	}
 	elapsed := time.Since(start)
-
-	st := bed.eng.Stats()
-	c.CountRounds(st.Rounds)
-	c.CountBytes(st.TotalBytes)
-	sig := citySig{
-		Avail: bed.mon.SummaryThrough(len(locs), vrounds).MeanAvailability,
-		Tx:    st.Transmissions,
-		Bytes: st.TotalBytes,
-	}
-	for _, l := range listeners {
-		if l.heard > 0 {
-			sig.Covered++
-		}
-		sig.Heard = det.HashKeys(int64(sig.Heard), int64(l.heard))
-	}
+	sig, st := s.outcome()
 	return cityOutcome{
 		sig:     sig,
 		rounds:  st.Rounds,

@@ -88,7 +88,16 @@ func RunFigure2() []Figure2Row {
 		// ✓XX: spurious collision at the observer in veto-1 (round 1);
 		// being orange, it vetoes in veto-2 itself.
 		stage(func(s *radio.Script) { s.Collide(1, observer) }),
-		// XXX: the observer misses the ballot (round 0) entirely.
+		// X X X: the observer's ballot slot (round 0) is silent —
+		// DropAll loses every message without signalling a collision.
+		// Figure 1 lines 29–32 treat an empty ballot slot exactly like a
+		// collided one: the instance is designated red. Red sits at the
+		// bottom of the downgrade-only color lattice, so the veto phases
+		// cannot matter to the observer's own color (it still broadcasts
+		// a veto-2 itself, protecting the rest of the cluster), and it
+		// outputs bottom. The check-mark switch above deliberately has no
+		// Red case: red means no phase was received correctly, which is
+		// the paper's fourth row — all crosses, red, bottom.
 		stage(func(s *radio.Script) { s.DropAll(0, observer) }),
 	}
 }

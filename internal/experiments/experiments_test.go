@@ -4,7 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"vinfra/internal/cd"
+	"vinfra/internal/cha"
 	"vinfra/internal/geo"
+	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 )
 
@@ -17,6 +20,36 @@ func TestFigure2MatchesPaper(t *testing.T) {
 		if row != Figure2Expected[i] {
 			t.Errorf("row %d: got %+v, want %+v", i, row, Figure2Expected[i])
 		}
+	}
+}
+
+// TestFigure2BallotLossRow pins the all-crosses row of Figure 2 directly
+// at the core, independent of RunFigure2's check-mark reconstruction: a
+// silent ballot slot (DropAll, no collision signalled) designates the
+// instance red per Figure 1 lines 29–32, the observer outputs bottom, and
+// — red being the bottom of the downgrade lattice — a later clean veto
+// phase cannot lift it back.
+func TestFigure2BallotLossRow(t *testing.T) {
+	const observer = 1
+	adv := &radio.Script{}
+	adv.DropAll(0, observer)
+	c := newCluster(clusterOpts{
+		n:         2,
+		detector:  cd.EventuallyAC{Racc: 1000},
+		adversary: adv,
+	})
+	c.runInstances(1)
+	obs := c.replicas[observer]
+	if got := obs.Core().Status(1); got != cha.Red {
+		t.Fatalf("observer color after a silent ballot slot = %v, want red", got)
+	}
+	// The Figure-2 output is ⊥ for any non-green instance; the internal
+	// best estimate must also assign ⊥ to the red instance.
+	if h := obs.Core().CalculateHistory(); h.Includes(1) {
+		t.Fatalf("red observer's history estimate includes instance 1: %v", h)
+	}
+	if want := (Figure2Row{Color: cha.Red}); RunFigure2()[3] != want {
+		t.Fatalf("Figure 2 row 4 = %+v, want %+v (all crosses, red, bottom)", RunFigure2()[3], want)
 	}
 }
 

@@ -1,0 +1,825 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vinfra/internal/checkpoint"
+	"vinfra/internal/det"
+	"vinfra/internal/faults"
+	"vinfra/internal/geo"
+	"vinfra/internal/harness"
+	"vinfra/internal/metrics"
+	"vinfra/internal/mobility"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+	"vinfra/internal/vi"
+	"vinfra/internal/wire"
+)
+
+// Soak is a resumable experiment driver: the long-running experiments
+// (E11 metro churn, E13 adversary grid, E14 city) are structured as one
+// constructor that rebuilds the whole deployment from the cell parameters
+// plus a StepVRound loop, so a run can be suspended into a
+// checkpoint.Checkpoint at any virtual-round boundary and resumed — in the
+// same process or a fresh one — with byte-identical results to an
+// uninterrupted run. The descriptor Run functions are thin wrappers that
+// step a Soak to completion, so the soak path and the golden path are the
+// same code.
+//
+// The restore protocol: build the Soak from the same cell (same params,
+// same seed, same shard count) — that reconstructs every piece of code the
+// snapshot cannot carry (programs, factories, fault closures) — then call
+// Restore with the checkpoint, which re-attaches mid-run joiners, lays the
+// engine/monitor state over the rebuilt world, and repositions the
+// driver's own counters.
+type Soak interface {
+	// VRounds returns the cell's total virtual-round horizon.
+	VRounds() int
+	// VRound returns the next virtual round to execute (0-based; equal to
+	// VRounds when the run is complete).
+	VRound() int
+	// StepVRound executes one virtual round, including the driver's
+	// between-round work (churn, revives).
+	StepVRound()
+	// Columns names the fields of a Rows row (chabench -soak prints them
+	// as the output header; E14's soak row differs from its descriptor's
+	// two-run comparison columns).
+	Columns() []string
+	// Rows returns the cell's result rows and folds the engine's round and
+	// byte counts into the cell (call once, after the final StepVRound).
+	Rows() []harness.Row
+	// Checkpoint captures the full run state at the current virtual-round
+	// boundary.
+	Checkpoint() checkpoint.Checkpoint
+	// Restore lays a checkpoint over a freshly constructed Soak.
+	Restore(cp checkpoint.Checkpoint) error
+}
+
+// NewSoak builds the resumable driver for one cell of a soakable
+// experiment. exp selects the experiment ("E11", "E13", "E14"); shards > 0
+// runs the region-sharded engine (E14 interprets shards <= 0 as its
+// headline 8-shard configuration, the others as the single-medium bed).
+func NewSoak(exp string, c *harness.Cell, shards int) (Soak, error) {
+	switch exp {
+	case "E11":
+		return newMetroSoak(c, shards), nil
+	case "E13":
+		return newAdversarySoak(c, true, shards), nil
+	case "E14":
+		if shards <= 0 {
+			shards = 8
+		}
+		return newCitySoak(c, shards), nil
+	default:
+		return nil, fmt.Errorf("experiments: %q is not soakable (want E11, E13 or E14)", exp)
+	}
+}
+
+// checkpointOf assembles the three shared layers plus the driver blob.
+func checkpointOf(bed *viBed, driver []byte) checkpoint.Checkpoint {
+	return checkpoint.Checkpoint{
+		Engine:  bed.eng.Snapshot(),
+		Medium:  bed.medium.Snapshot(),
+		Monitor: bed.mon.Snapshot(),
+		Driver:  driver,
+	}
+}
+
+// restoreBed lays the three shared layers over a rebuilt bed. The driver
+// must have re-attached every mid-run joiner first so the node population
+// matches.
+func restoreBed(bed *viBed, cp checkpoint.Checkpoint) error {
+	if err := bed.medium.Restore(cp.Medium); err != nil {
+		return err
+	}
+	if err := bed.eng.Restore(cp.Engine); err != nil {
+		return err
+	}
+	bed.mon.Restore(cp.Monitor)
+	return nil
+}
+
+// --- E11: metro churn ---
+
+// metroExtra records one mid-run joiner: which region it was attached to
+// and the virtual round it arrived in (its OnJoin hook measures join
+// latency against that arrival).
+type metroExtra struct {
+	v       int
+	arrived int
+}
+
+type metroSoak struct {
+	c       *harness.Cell
+	vrounds int
+	vr      int
+
+	bed      *viBed
+	locs     []geo.Point
+	per      int
+	replicas [][]sim.NodeID // per-region roster, oldest first
+	churn    int
+	extras   []metroExtra
+
+	mu        sync.Mutex
+	joins     int
+	resets    int
+	latencies []int64
+}
+
+const metroReplicasPer = 3
+
+func newMetroSoak(c *harness.Cell, shards int) *metroSoak {
+	cols, rows, vrounds := c.Params.Int("cols"), c.Params.Int("rows"), c.Params.Int("vrounds")
+	locs := geo.Grid{Spacing: 6, Cols: cols, Rows: rows}.Locations()
+	s := &metroSoak{c: c, vrounds: vrounds, locs: locs}
+	s.bed = newVIBed(viBedOpts{
+		locs:        locs,
+		replicasPer: metroReplicasPer,
+		seed:        int64(cols*rows) + c.Base(),
+		fixedLeader: true,
+		parallel:    true,
+		shards:      shards,
+	})
+	// One client per region, staggered so pings from neighboring regions
+	// don't collide every client slot.
+	for v, loc := range locs {
+		v := v
+		s.bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
+			return s.bed.dep.NewClient(env, vi.ClientFunc(
+				func(vr int, _ []vi.Message, _ bool) *vi.Message {
+					if vr%len(locs) != v {
+						return nil
+					}
+					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
+				}))
+		})
+	}
+	s.per = s.bed.dep.Timing().RoundsPerVRound()
+	s.replicas = make([][]sim.NodeID, len(locs))
+	for v := range locs {
+		for i := 0; i < metroReplicasPer; i++ {
+			s.replicas[v] = append(s.replicas[v], sim.NodeID(v*metroReplicasPer+i))
+		}
+	}
+	return s
+}
+
+// attachExtra attaches one mid-run joiner with the latency-measuring hooks
+// and records it for checkpointing. Hooks fire from emulator Receive calls,
+// which the parallel engine fans out across workers: the counters need
+// their own lock.
+func (s *metroSoak) attachExtra(v, arrived int, pos geo.Point) sim.NodeID {
+	newID := sim.NodeID(s.bed.eng.NumNodes())
+	s.bed.attachEmulator(pos, false, vi.EmulatorHooks{
+		OnJoin: func(_ vi.VNodeID, joinVR int) {
+			s.mu.Lock()
+			s.joins++
+			s.latencies = append(s.latencies, int64(joinVR-arrived))
+			s.mu.Unlock()
+		},
+		OnReset: func(vi.VNodeID, int) {
+			s.mu.Lock()
+			s.resets++
+			s.mu.Unlock()
+		},
+	})
+	s.extras = append(s.extras, metroExtra{v: v, arrived: arrived})
+	return newID
+}
+
+func (s *metroSoak) VRounds() int { return s.vrounds }
+func (s *metroSoak) VRound() int  { return s.vr }
+
+// StepVRound runs one virtual round of the metro churn load: from the
+// second round on, the rotation picks a region, its oldest replica departs
+// through one of the three departure paths (immediate Leave, a CrashAt
+// scheduled mid-vround, a CrashAt aimed at an already-past round),
+// leadership hands to the next-oldest replica, and a fresh device attaches
+// nearby and acquires state through the join protocol.
+func (s *metroSoak) StepVRound() {
+	vr := s.vr
+	if vr > 0 {
+		v := vr % len(s.locs)
+		if reg := s.replicas[v]; len(reg) > 1 {
+			oldest := reg[0]
+			s.replicas[v] = reg[1:]
+			// The departing replica is always the region's leader: hand
+			// leadership to the next-oldest before it goes, the failover a
+			// managed deployment performs.
+			s.bed.setLeader(vi.VNodeID(v), s.replicas[v][0])
+			switch s.churn % 3 {
+			case 0:
+				s.bed.eng.Leave(oldest)
+			case 1:
+				// Mid-vround crash: the replica dies between phases.
+				s.bed.eng.CrashAt(oldest, s.bed.eng.Round()+sim.Round(s.per/2))
+			case 2:
+				// A crash scheduled for a round that already ran: the
+				// engine applies it immediately instead of dropping it.
+				s.bed.eng.CrashAt(oldest, s.bed.eng.Round()-1)
+			}
+			loc := s.locs[v]
+			pos := geo.Point{
+				X: loc.X + 0.4*float64(s.churn%4) - 0.6,
+				Y: loc.Y - 0.35,
+			}
+			newID := s.attachExtra(v, vr, pos)
+			s.replicas[v] = append(s.replicas[v], newID)
+			s.churn++
+		}
+	}
+	s.bed.eng.Run(s.per)
+	s.vr++
+}
+
+// Columns matches the E11 descriptor: the soak row is the cell row.
+func (s *metroSoak) Columns() []string { return e11Desc.Columns }
+
+func (s *metroSoak) Rows() []harness.Row {
+	s.c.CountRounds(s.bed.eng.Stats().Rounds)
+	var joinLatency metrics.Series
+	for _, l := range s.latencies {
+		joinLatency.AddInt(int(l))
+	}
+	return []harness.Row{{
+		harness.Int(len(s.locs)), harness.Int(s.bed.eng.NumNodes()), harness.Int(s.vrounds),
+		harness.Int(s.churn), harness.Int(s.bed.eng.AliveCount()),
+		harness.Float(s.bed.meanAvailability()), harness.Float(joinLatency.Mean()),
+		harness.Int(s.joins), harness.Int(s.resets),
+	}}
+}
+
+func (s *metroSoak) driverBytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst := wire.AppendUvarint(nil, uint64(s.vr))
+	dst = wire.AppendUvarint(dst, uint64(s.churn))
+	dst = wire.AppendUvarint(dst, uint64(s.joins))
+	dst = wire.AppendUvarint(dst, uint64(s.resets))
+	dst = wire.AppendUvarint(dst, uint64(len(s.latencies)))
+	for _, l := range s.latencies {
+		dst = wire.AppendVarint(dst, l)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(s.replicas)))
+	for _, reg := range s.replicas {
+		dst = wire.AppendUvarint(dst, uint64(len(reg)))
+		for _, id := range reg {
+			dst = wire.AppendUvarint(dst, uint64(id))
+		}
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(s.extras)))
+	for _, x := range s.extras {
+		dst = wire.AppendUvarint(dst, uint64(x.v))
+		dst = wire.AppendUvarint(dst, uint64(x.arrived))
+	}
+	return dst
+}
+
+func (s *metroSoak) Checkpoint() checkpoint.Checkpoint {
+	return checkpointOf(s.bed, s.driverBytes())
+}
+
+func (s *metroSoak) Restore(cp checkpoint.Checkpoint) error {
+	d := wire.Dec(cp.Driver)
+	vr := int(d.Uvarint())
+	churn := int(d.Uvarint())
+	joins := int(d.Uvarint())
+	resets := int(d.Uvarint())
+	nl := d.Uvarint()
+	latencies := make([]int64, 0, nl)
+	for i := uint64(0); i < nl; i++ {
+		latencies = append(latencies, d.Varint())
+	}
+	nr := d.Uvarint()
+	if nr != uint64(len(s.replicas)) {
+		return fmt.Errorf("experiments: E11 restore: %d region rosters, bed has %d regions", nr, len(s.replicas))
+	}
+	replicas := make([][]sim.NodeID, nr)
+	for i := range replicas {
+		n := d.Uvarint()
+		for j := uint64(0); j < n; j++ {
+			replicas[i] = append(replicas[i], sim.NodeID(d.Uvarint()))
+		}
+	}
+	nx := d.Uvarint()
+	extras := make([]metroExtra, 0, nx)
+	for i := uint64(0); i < nx; i++ {
+		v := int(d.Uvarint())
+		arrived := int(d.Uvarint())
+		extras = append(extras, metroExtra{v: v, arrived: arrived})
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("experiments: E11 restore: driver state: %w", err)
+	}
+	// Re-attach the mid-run joiners in their original order so the node
+	// population (and NodeID assignment) matches the checkpoint; positions
+	// and all node state are overwritten by the engine restore.
+	for _, x := range extras {
+		s.attachExtra(x.v, x.arrived, s.locs[x.v])
+	}
+	if err := restoreBed(s.bed, cp); err != nil {
+		return err
+	}
+	s.vr, s.churn, s.joins, s.resets = vr, churn, joins, resets
+	s.latencies = latencies
+	s.replicas = replicas
+	return nil
+}
+
+// --- E13: adversary grid ---
+
+type adversarySoak struct {
+	c       *harness.Cell
+	vrounds int
+	vr      int
+
+	bed  *viBed
+	locs []geo.Point
+	nv   int
+	per  int
+
+	regionReplicas [][]sim.NodeID
+	regionOf       map[sim.NodeID]vi.VNodeID
+	isReplica      map[sim.NodeID]bool
+	emByID         map[sim.NodeID]*vi.Emulator
+	extras         []int // region of each mid-run joiner, in attach order
+	churn          int
+	wiped          map[int]vi.VNodeID
+
+	mu     sync.Mutex
+	joins  int
+	resets int
+}
+
+const adversaryReplicasPer = 3
+
+func newAdversarySoak(c *harness.Cell, parallel bool, shards int) *adversarySoak {
+	kind, intensity := c.Params.Str("kind"), c.Params.Str("intensity")
+	cols, rows, vrounds := c.Params.Int("cols"), c.Params.Int("rows"), c.Params.Int("vrounds")
+	locs := geo.Grid{Spacing: 6, Cols: cols, Rows: rows}.Locations()
+	nv := len(locs)
+	// The adversary must exist before the bed (the jammer rides in the
+	// medium config), so the virtual-round length is derived up front.
+	per := vi.Timing{S: vi.BuildSchedule(locs, Radii).Len()}.RoundsPerVRound()
+	seed := int64(nv)*5 + c.Base()
+	high := intensity == "high"
+
+	s := &adversarySoak{c: c, vrounds: vrounds, locs: locs, nv: nv, per: per}
+
+	adversary := e13Jammer(kind, high, locs, per, seed)
+	s.bed = newVIBed(viBedOpts{
+		locs:        locs,
+		replicasPer: adversaryReplicasPer,
+		seed:        seed,
+		fixedLeader: true,
+		adversary:   adversary,
+		parallel:    parallel,
+		shards:      shards,
+	})
+	// One client per region, staggered so neighboring pings don't collide
+	// every client slot.
+	for v, loc := range locs {
+		v := v
+		s.bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
+			return s.bed.dep.NewClient(env, vi.ClientFunc(
+				func(vr int, _ []vi.Message, _ bool) *vi.Message {
+					if vr%4 != v%4 {
+						return nil
+					}
+					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
+				}))
+		})
+	}
+
+	// Replica bookkeeping: per-region rosters (oldest first, head = fixed
+	// leader) and the replica id set — the crash adversaries must not eat
+	// the measurement clients, and failover must hand leadership on.
+	s.regionReplicas = make([][]sim.NodeID, nv)
+	s.regionOf = map[sim.NodeID]vi.VNodeID{}
+	s.isReplica = map[sim.NodeID]bool{}
+	s.emByID = map[sim.NodeID]*vi.Emulator{}
+	for v := 0; v < nv; v++ {
+		for i := 0; i < adversaryReplicasPer; i++ {
+			id := sim.NodeID(v*adversaryReplicasPer + i)
+			s.regionReplicas[v] = append(s.regionReplicas[v], id)
+			s.regionOf[id] = vi.VNodeID(v)
+			s.isReplica[id] = true
+			s.emByID[id] = s.bed.emulators[int(id)]
+		}
+	}
+
+	// wiped[vr] is the region wiped at the start of virtual round vr; the
+	// vround loop respawns joiners there one virtual round later.
+	s.wiped = map[int]vi.VNodeID{}
+	e13Faults(s, kind, high, seed)
+	return s
+}
+
+// e13Jammer builds the jam kind's radio adversary (nil for the others).
+func e13Jammer(kind string, high bool, locs []geo.Point, per int, seed int64) radio.Adversary {
+	if kind != "jam" {
+		return nil
+	}
+	j := &faults.RegionJammer{
+		Window:  faults.Window{From: sim.Round(per)},
+		Targets: locs,
+		Radius:  2.5, // the R1/4 region radius: replicas and client
+		Period:  4 * per,
+		Burst:   per,
+		Rotate:  (len(locs) + 2) / 3,
+		Seed:    seed + 101,
+	}
+	if high {
+		j.Burst = 2 * per
+		j.Rotate = 0 // every region
+	}
+	return j
+}
+
+// respawn attaches a fresh (non-bootstrapped) device near region v,
+// records it in the rosters, and returns its id. It runs on the engine
+// goroutine only (fault Strike or between vrounds).
+func (s *adversarySoak) respawn(v vi.VNodeID) sim.NodeID {
+	loc := s.locs[v]
+	pos := geo.Point{
+		X: loc.X + 0.4*float64(s.churn%4) - 0.6,
+		Y: loc.Y - 0.35,
+	}
+	s.churn++
+	newID := sim.NodeID(s.bed.eng.NumNodes())
+	em := s.attachCounted(pos)
+	s.regionReplicas[v] = append(s.regionReplicas[v], newID)
+	s.regionOf[newID] = v
+	s.isReplica[newID] = true
+	s.emByID[newID] = em
+	s.extras = append(s.extras, int(v))
+	return newID
+}
+
+// attachCounted attaches a non-bootstrapped emulator wired to the
+// join/reset counters. Hooks fire from emulator Receive calls, which the
+// parallel engine fans out across workers: the counters need their own
+// lock.
+func (s *adversarySoak) attachCounted(pos geo.Point) *vi.Emulator {
+	return s.bed.attachEmulator(pos, false, vi.EmulatorHooks{
+		OnJoin: func(vi.VNodeID, int) {
+			s.mu.Lock()
+			s.joins++
+			s.mu.Unlock()
+		},
+		OnReset: func(vi.VNodeID, int) {
+			s.mu.Lock()
+			s.resets++
+			s.mu.Unlock()
+		},
+	})
+}
+
+// dropReplica removes a dead replica from its roster and, if it led the
+// region, promotes the oldest joined survivor (the failover a managed
+// deployment performs).
+func (s *adversarySoak) dropReplica(victim sim.NodeID) vi.VNodeID {
+	v := s.regionOf[victim]
+	reg := s.regionReplicas[v]
+	wasHead := len(reg) > 0 && reg[0] == victim
+	for i, id := range reg {
+		if id == victim {
+			reg = append(reg[:i], reg[i+1:]...)
+			break
+		}
+	}
+	s.regionReplicas[v] = reg
+	if wasHead {
+		next := -1
+		for i, id := range reg {
+			if s.emByID[id].Joined() {
+				next = i
+				break
+			}
+		}
+		if next < 0 && len(reg) > 0 {
+			next = 0
+		}
+		if next >= 0 {
+			s.bed.setLeader(v, reg[next])
+		}
+	}
+	return v
+}
+
+// e13Faults registers the engine-level adversaries for the kind. The
+// closures (Eligible, Respawn) close over the soak's live rosters, which is
+// why they are rebuilt by the constructor on restore instead of riding in
+// the checkpoint.
+func e13Faults(s *adversarySoak, kind string, high bool, seed int64) {
+	switch kind {
+	case "wipe":
+		every := 5
+		if high {
+			every = 3
+		}
+		for k, w := 0, 2; w < s.vrounds; k, w = k+1, w+every {
+			v := vi.VNodeID(k % s.nv)
+			s.wiped[w] = v
+			s.bed.eng.AddFault(faults.RegionWipe{
+				Center: s.locs[v],
+				Radius: 1.0, // replicas, not the client
+				At:     sim.Round(w * s.per),
+			})
+		}
+	case "storm":
+		kills := 1
+		if high {
+			kills = 2
+		}
+		s.bed.eng.AddFault(&faults.ChurnStorm{
+			Window:   faults.Window{From: sim.Round(s.per)},
+			Period:   s.per, // one front per virtual round
+			Kills:    kills,
+			Seed:     seed + 211,
+			Eligible: func(id sim.NodeID) bool { return s.isReplica[id] },
+			Respawn: func(victim sim.NodeID, _ geo.Point) {
+				v := s.dropReplica(victim)
+				newID := s.respawn(v)
+				if len(s.regionReplicas[v]) == 1 {
+					// Last one standing: it will reset-revive the region
+					// and must lead it.
+					s.bed.setLeader(v, newID)
+				}
+			},
+		})
+	case "burst":
+		p := 0.12
+		if high {
+			p = 0.25
+		}
+		s.bed.eng.AddFault(&faults.CrashBurst{
+			Window: faults.Window{From: sim.Round(s.per)},
+			Period: 2 * s.per,
+			P:      p,
+			Seed:   seed + 307,
+			// Pure attrition spares the fixed leaders so degradation is
+			// graceful: regions shrink toward single-replica operation.
+			Eligible: func(id sim.NodeID) bool {
+				v, ok := s.regionOf[id]
+				if !ok {
+					return false
+				}
+				reg := s.regionReplicas[v]
+				return len(reg) > 0 && reg[0] != id
+			},
+		})
+	}
+}
+
+func (s *adversarySoak) VRounds() int { return s.vrounds }
+func (s *adversarySoak) VRound() int  { return s.vr }
+
+// StepVRound runs one virtual round under the adversary, reviving a region
+// the round after a wipe annihilated it.
+func (s *adversarySoak) StepVRound() {
+	vr := s.vr
+	if v, ok := s.wiped[vr-1]; ok {
+		// The region was annihilated last virtual round: two fresh devices
+		// arrive and must revive it via join/reset. The first leads the
+		// reborn region.
+		s.regionReplicas[v] = nil
+		first := s.respawn(v)
+		s.respawn(v)
+		s.bed.setLeader(v, first)
+	}
+	s.bed.eng.Run(s.per)
+	s.vr++
+}
+
+// Columns matches the E13 descriptor: the soak row is the cell row.
+func (s *adversarySoak) Columns() []string { return e13Desc.Columns }
+
+func (s *adversarySoak) Rows() []harness.Row {
+	kind, intensity := s.c.Params.Str("kind"), s.c.Params.Str("intensity")
+	st := s.bed.eng.Stats()
+	s.c.CountRounds(st.Rounds)
+	s.c.CountBytes(st.TotalBytes)
+	sum := s.bed.mon.SummaryThrough(s.nv, s.vrounds)
+	return []harness.Row{{
+		harness.Int(s.nv), harness.Str(kind), harness.Str(intensity),
+		harness.Int(s.bed.eng.NumNodes()), harness.Int(s.bed.eng.AliveCount()),
+		harness.Int(s.vrounds),
+		harness.Float(sum.MeanAvailability), harness.Int(sum.Unavailable),
+		harness.Int(sum.MaxStall), harness.Float(sum.MeanRecovery),
+		harness.Int(s.joins), harness.Int(s.resets),
+	}}
+}
+
+func (s *adversarySoak) driverBytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst := wire.AppendUvarint(nil, uint64(s.vr))
+	dst = wire.AppendUvarint(dst, uint64(s.churn))
+	dst = wire.AppendUvarint(dst, uint64(s.joins))
+	dst = wire.AppendUvarint(dst, uint64(s.resets))
+	dst = wire.AppendUvarint(dst, uint64(len(s.regionReplicas)))
+	for _, reg := range s.regionReplicas {
+		dst = wire.AppendUvarint(dst, uint64(len(reg)))
+		for _, id := range reg {
+			dst = wire.AppendUvarint(dst, uint64(id))
+		}
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(s.extras)))
+	for _, v := range s.extras {
+		dst = wire.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+func (s *adversarySoak) Checkpoint() checkpoint.Checkpoint {
+	return checkpointOf(s.bed, s.driverBytes())
+}
+
+func (s *adversarySoak) Restore(cp checkpoint.Checkpoint) error {
+	d := wire.Dec(cp.Driver)
+	vr := int(d.Uvarint())
+	churn := int(d.Uvarint())
+	joins := int(d.Uvarint())
+	resets := int(d.Uvarint())
+	nr := d.Uvarint()
+	if nr != uint64(s.nv) {
+		return fmt.Errorf("experiments: E13 restore: %d region rosters, bed has %d regions", nr, s.nv)
+	}
+	rosters := make([][]sim.NodeID, nr)
+	for i := range rosters {
+		n := d.Uvarint()
+		for j := uint64(0); j < n; j++ {
+			rosters[i] = append(rosters[i], sim.NodeID(d.Uvarint()))
+		}
+	}
+	nx := d.Uvarint()
+	extras := make([]int, 0, nx)
+	for i := uint64(0); i < nx; i++ {
+		extras = append(extras, int(d.Uvarint()))
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("experiments: E13 restore: driver state: %w", err)
+	}
+	// Re-attach the mid-run joiners in their original order. churn drives
+	// the respawn position pattern, so it is replayed per joiner; rosters
+	// are overwritten wholesale below (respawn's roster bookkeeping over
+	// replayed joiners records every id ever attached, which is what
+	// regionOf/isReplica/emByID must cover — the checkpointed rosters then
+	// replace the per-region live lists).
+	s.churn = 0
+	s.extras = nil
+	for _, v := range extras {
+		s.respawn(vi.VNodeID(v))
+	}
+	if err := restoreBed(s.bed, cp); err != nil {
+		return err
+	}
+	s.regionReplicas = rosters
+	s.vr, s.churn, s.joins, s.resets = vr, churn, joins, resets
+	return nil
+}
+
+// --- E14: city ---
+
+type citySoak struct {
+	c       *harness.Cell
+	vrounds int
+	vr      int
+
+	bed       *viBed
+	locs      []geo.Point
+	per       int
+	listeners []*cityListener
+}
+
+func newCitySoak(c *harness.Cell, shards int) *citySoak {
+	devices := c.Params.Int("devices")
+	cols, rows := c.Params.Int("cols"), c.Params.Int("rows")
+	vrounds := c.Params.Int("vrounds")
+	const replicasPer = 3
+	locs := geo.Grid{Spacing: citySpacing, Cols: cols, Rows: rows}.Locations()
+	seed := int64(devices) + c.Base()
+
+	s := &citySoak{c: c, vrounds: vrounds, locs: locs}
+	s.bed = newVIBed(viBedOpts{
+		locs:        locs,
+		replicasPer: replicasPer,
+		seed:        seed,
+		fixedLeader: true,
+		parallel:    true,
+		shards:      shards,
+	})
+	// One client per region, staggered so neighboring pings don't collide
+	// every client slot (the E13 stagger).
+	for v, loc := range locs {
+		v := v
+		s.bed.eng.Attach(geo.Point{X: loc.X + 1.2, Y: loc.Y - 1}, nil, func(env sim.Env) sim.Node {
+			return s.bed.dep.NewClient(env, vi.ClientFunc(
+				func(vr int, _ []vi.Message, _ bool) *vi.Message {
+					if vr%4 != v%4 {
+						return nil
+					}
+					return vi.Text(fmt.Sprintf("ping-%02d-%04d", v, vr))
+				}))
+		})
+	}
+
+	// Fill the remaining device budget with wandering listeners, placed
+	// uniformly over the city by a seed-keyed stream so the population is a
+	// pure function of the cell.
+	area := geo.Rect{
+		Min: geo.Point{X: -10, Y: -10},
+		Max: geo.Point{
+			X: citySpacing*float64(cols-1) + 10,
+			Y: citySpacing*float64(rows-1) + 10,
+		},
+	}
+	rng := det.NewStream(seed + 404)
+	for s.bed.eng.NumNodes() < devices {
+		l := &cityListener{}
+		s.listeners = append(s.listeners, l)
+		pos := geo.Point{
+			X: area.Min.X + rng.Float64()*area.Width(),
+			Y: area.Min.Y + rng.Float64()*area.Height(),
+		}
+		s.bed.eng.Attach(pos, &mobility.RandomWaypoint{Area: area, VMax: 2},
+			func(sim.Env) sim.Node { return l })
+	}
+	s.per = s.bed.dep.Timing().RoundsPerVRound()
+	return s
+}
+
+func (s *citySoak) VRounds() int { return s.vrounds }
+func (s *citySoak) VRound() int  { return s.vr }
+
+func (s *citySoak) StepVRound() {
+	s.bed.eng.Run(s.per)
+	s.vr++
+}
+
+// outcome computes the run's deterministic signature and folds the round
+// and byte counts into the cell.
+func (s *citySoak) outcome() (citySig, sim.Stats) {
+	st := s.bed.eng.Stats()
+	s.c.CountRounds(st.Rounds)
+	s.c.CountBytes(st.TotalBytes)
+	sig := citySig{
+		Avail: s.bed.mon.SummaryThrough(len(s.locs), s.vrounds).MeanAvailability,
+		Tx:    st.Transmissions,
+		Bytes: st.TotalBytes,
+	}
+	for _, l := range s.listeners {
+		if l.heard > 0 {
+			sig.Covered++
+		}
+		sig.Heard = det.HashKeys(int64(sig.Heard), int64(l.heard))
+	}
+	return sig, st
+}
+
+// Columns names the soak row's fields; unlike E11/E13 this is not the
+// descriptor's column set, because the descriptor's cityCell row is a
+// two-run (1-shard vs 8-shard) comparison while the soak row is the
+// deterministic signature of one resumable run.
+func (s *citySoak) Columns() []string {
+	return []string{
+		"devices", "vnodes", "vrounds", "rounds",
+		"availability", "covered", "heard hash", "tx", "wire B", "halo tx",
+	}
+}
+
+// Rows reports the soak row: the deterministic signature of this single
+// run, including the order-sensitive heard-hash over every listener. (The
+// descriptor's cityCell reports a two-run comparison instead; the soak row
+// is what segmented and uninterrupted runs are compared on.)
+func (s *citySoak) Rows() []harness.Row {
+	sig, st := s.outcome()
+	return []harness.Row{{
+		harness.Int(s.bed.eng.NumNodes()), harness.Int(len(s.locs)),
+		harness.Int(s.vrounds), harness.Int(st.Rounds),
+		harness.Float(sig.Avail), harness.Int(sig.Covered),
+		harness.Str(fmt.Sprintf("%016x", sig.Heard)),
+		harness.Int(sig.Tx), harness.Int(sig.Bytes),
+		harness.Int(st.HaloTransmissions),
+	}}
+}
+
+func (s *citySoak) Checkpoint() checkpoint.Checkpoint {
+	return checkpointOf(s.bed, wire.AppendUvarint(nil, uint64(s.vr)))
+}
+
+func (s *citySoak) Restore(cp checkpoint.Checkpoint) error {
+	d := wire.Dec(cp.Driver)
+	vr := int(d.Uvarint())
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("experiments: E14 restore: driver state: %w", err)
+	}
+	if err := restoreBed(s.bed, cp); err != nil {
+		return err
+	}
+	s.vr = vr
+	return nil
+}

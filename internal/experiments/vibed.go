@@ -52,6 +52,7 @@ type viBed struct {
 	eng        *sim.Engine
 	dep        *vi.Deployment
 	mon        *vi.Monitor
+	medium     *radio.Medium // the engine's medium, kept for checkpoint fingerprints
 	emulators  []*vi.Emulator
 	setLeaders []func(sim.NodeID) // per-vnode leader handoff (fixedLeader only)
 }
@@ -142,6 +143,7 @@ func newVIBed(o viBedOpts) *viBed {
 		eng:        sim.NewEngine(medium, engOpts...),
 		dep:        dep,
 		mon:        vi.NewMonitor(),
+		medium:     medium,
 		setLeaders: setLeaders,
 	}
 	for v, loc := range o.locs {

@@ -40,6 +40,22 @@
 // (pinned by TestAdversaryParallelEqualsSequential in
 // internal/experiments).
 //
+// # Snapshot contract
+//
+// Adversaries are configuration, not state: because every choice is a
+// pure hash of (Seed, round, node/cell), a restored run replays an attack
+// schedule exactly without the adversary carrying anything between
+// rounds. Each adversary therefore encodes only its configuration through
+// the canonical wire trio (AppendTo/WireSize/Decode<Type>), and the
+// engine folds those encodings into the fault digest that
+// sim.EngineSnapshot carries — a checkpoint refuses to resume against a
+// different attack schedule. Closure fields (Eligible, Respawn) are code,
+// not data: they are deliberately absent from the encodings (pinned by
+// TestAdversaryEncodingsOmitClosures), so the restore protocol requires
+// the driver to rebuild matching closures before overlaying the
+// checkpoint — the same rebuild-then-overlay rule as programs and
+// factories.
+//
 // # Adding an adversary
 //
 // A new radio-layer attack implements radio.Adversary: Filter decides what

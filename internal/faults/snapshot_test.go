@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vinfra/internal/geo"
+	"vinfra/internal/sim"
+	"vinfra/internal/wire"
+)
+
+// trioRoundTrip pins one adversary's wire trio: encoded length equals
+// WireSize, decoding reproduces the value, re-encoding is byte-identical.
+func trioRoundTrip[T any](t *testing.T, v T, enc func(T, []byte) []byte, size func(T) int, dec func(*wire.Decoder) (T, error)) {
+	t.Helper()
+	b := enc(v, nil)
+	if len(b) != size(v) {
+		t.Fatalf("%T: WireSize = %d, encoded %d bytes", v, size(v), len(b))
+	}
+	d := wire.Dec(b)
+	got, err := dec(&d)
+	if err != nil {
+		t.Fatalf("%T: decode: %v", v, err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("%T: finish: %v", v, err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("%T: decode(encode(v)) != v:\ngot:  %+v\nwant: %+v", v, got, v)
+	}
+	if !bytes.Equal(enc(got, nil), b) {
+		t.Fatalf("%T: re-encoding changes bytes", v)
+	}
+}
+
+// TestAdversarySnapshotRoundTrips covers every adversary's canonical
+// encoding. Closure fields (Eligible, Respawn) are configuration code, not
+// state: they are deliberately absent from the encodings, and the fixtures
+// leave them nil so a full-struct comparison stays meaningful.
+func TestAdversarySnapshotRoundTrips(t *testing.T) {
+	trioRoundTrip(t, Window{From: 3, Until: 99},
+		Window.AppendTo, Window.WireSize, DecodeWindow)
+	trioRoundTrip(t, RegionWipe{Center: geo.Point{X: 1.5, Y: -2.25}, Radius: 4, At: 17},
+		RegionWipe.AppendTo, RegionWipe.WireSize, DecodeRegionWipe)
+	trioRoundTrip(t, CrashBurst{Window: Window{From: 2}, Period: 8, P: 0.25, Seed: 101},
+		CrashBurst.AppendTo, CrashBurst.WireSize, DecodeCrashBurst)
+	trioRoundTrip(t, ChurnStorm{Window: Window{From: 1, Until: 50}, Period: 4, Kills: 2, Seed: 7},
+		ChurnStorm.AppendTo, ChurnStorm.WireSize, DecodeChurnStorm)
+	trioRoundTrip(t, Herd{Window: Window{From: 5}, Focus: geo.Point{X: 3, Y: 4}, Frac: 0.5, Step: 1.25, Seed: 11},
+		Herd.AppendTo, Herd.WireSize, DecodeHerd)
+	trioRoundTrip(t, CellJammer{
+		Window: Window{From: 1}, Bounds: geo.Rect{Min: geo.Point{X: -1, Y: -1}, Max: geo.Point{X: 9, Y: 9}},
+		CellSize: 2.5, Cells: 3, Seed: 13,
+	}, CellJammer.AppendTo, CellJammer.WireSize, DecodeCellJammer)
+	trioRoundTrip(t, RegionJammer{
+		Window: Window{From: 4}, Targets: []geo.Point{{X: 0, Y: 0}, {X: 6, Y: 0}},
+		Radius: 2.5, Period: 12, Burst: 3, Rotate: 2, Seed: 17,
+	}, RegionJammer.AppendTo, RegionJammer.WireSize, DecodeRegionJammer)
+}
+
+// TestAdversaryEncodingsOmitClosures pins the design decision that the
+// encodings fingerprint configuration only: two storms differing solely in
+// their closures encode identically (the engine's fault digest therefore
+// cannot distinguish them — the driver must rebuild matching closures,
+// which is the restore protocol's contract).
+func TestAdversaryEncodingsOmitClosures(t *testing.T) {
+	plain := ChurnStorm{Period: 4, Kills: 1, Seed: 3}
+	wired := plain
+	wired.Eligible = func(sim.NodeID) bool { return true }
+	wired.Respawn = func(sim.NodeID, geo.Point) {}
+	if !bytes.Equal(plain.AppendTo(nil), wired.AppendTo(nil)) {
+		t.Fatal("closures leak into the ChurnStorm encoding")
+	}
+}

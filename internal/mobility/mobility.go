@@ -8,6 +8,7 @@ package mobility
 import (
 	"vinfra/internal/geo"
 	"vinfra/internal/sim"
+	"vinfra/internal/wire"
 )
 
 // rndFloat converts the engine's integer random source into a uniform
@@ -64,6 +65,24 @@ func (m *RandomWaypoint) Move(_ sim.Round, cur geo.Point, rnd func(int) int) geo
 	return cur.Add(step.Unit().Scale(m.VMax))
 }
 
+// AppendState implements sim.Snapshotter: the model's only mutable state is
+// the current destination (the Area/VMax configuration is rebuilt by the
+// caller, like every other snapshot in the stack).
+func (m *RandomWaypoint) AppendState(dst []byte) []byte {
+	dst = wire.AppendBool(dst, m.hasDest)
+	dst = wire.AppendFloat64(dst, m.dest.X)
+	return wire.AppendFloat64(dst, m.dest.Y)
+}
+
+// RestoreState implements sim.Snapshotter.
+func (m *RandomWaypoint) RestoreState(data []byte) error {
+	d := wire.Dec(data)
+	m.hasDest = d.Bool()
+	m.dest.X = d.Float64()
+	m.dest.Y = d.Float64()
+	return d.Finish()
+}
+
 // Waypoints follows a fixed cyclic tour of points at speed VMax per round —
 // the paper's motivating mobile-robot scenario, where robots are directed
 // between virtual-node locations.
@@ -86,6 +105,19 @@ func (m *Waypoints) Move(_ sim.Round, cur geo.Point, _ func(int) int) geo.Point 
 		return target
 	}
 	return cur.Add(step.Unit().Scale(m.VMax))
+}
+
+// AppendState implements sim.Snapshotter: the tour position is the model's
+// only mutable state.
+func (m *Waypoints) AppendState(dst []byte) []byte {
+	return wire.AppendUvarint(dst, uint64(m.next))
+}
+
+// RestoreState implements sim.Snapshotter.
+func (m *Waypoints) RestoreState(data []byte) error {
+	d := wire.Dec(data)
+	m.next = int(d.Uvarint())
+	return d.Finish()
 }
 
 // Tether performs a bounded random walk around a fixed anchor: each round

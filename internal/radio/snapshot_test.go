@@ -1,0 +1,57 @@
+package radio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vinfra/internal/cd"
+	"vinfra/internal/geo"
+)
+
+func TestMediumSnapshotRoundTrip(t *testing.T) {
+	m := MustMedium(Config{
+		Radii:                geo.Radii{R1: 10, R2: 20},
+		Detector:             cd.AC{},
+		GrayZoneDeliveryProb: 0.25,
+		Seed:                 7,
+	})
+	s := m.Snapshot()
+	b := s.AppendTo(nil)
+	if len(b) != s.WireSize() {
+		t.Fatalf("WireSize = %d, encoded %d bytes", s.WireSize(), len(b))
+	}
+	got, err := DecodeMediumSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("decode(encode(s)) != s:\ngot:  %+v\nwant: %+v", got, s)
+	}
+	if !bytes.Equal(got.AppendTo(nil), b) {
+		t.Fatal("re-encoding the decoded snapshot changes bytes")
+	}
+	if err := m.Restore(got); err != nil {
+		t.Fatalf("restore of the medium's own snapshot failed: %v", err)
+	}
+}
+
+// TestMediumRestoreRejectsMismatch pins the validation role of the medium
+// snapshot: a rebuilt medium with any config drift (different seed,
+// different gray-zone probability, different detector) refuses the
+// snapshot instead of silently diverging.
+func TestMediumRestoreRejectsMismatch(t *testing.T) {
+	base := Config{Radii: geo.Radii{R1: 10, R2: 20}, Detector: cd.AC{}, Seed: 7}
+	snap := MustMedium(base).Snapshot()
+
+	drifted := base
+	drifted.Seed = 8
+	if err := MustMedium(drifted).Restore(snap); err == nil {
+		t.Fatal("medium with a different seed accepted the snapshot")
+	}
+	drifted = base
+	drifted.GrayZoneDeliveryProb = 0.5
+	if err := MustMedium(drifted).Restore(snap); err == nil {
+		t.Fatal("medium with a different gray-zone probability accepted the snapshot")
+	}
+}

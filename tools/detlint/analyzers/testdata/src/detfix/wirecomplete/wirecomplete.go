@@ -37,3 +37,48 @@ type Envelope struct {
 	Frame
 	Hops int
 }
+
+// --- snapshot-shaped fixtures: the checkpoint plane's codec types ---
+
+// WorldSnapshot carries the full trio with the nested-snapshot decoder
+// shape: Decode<Type> takes a shared decoder and returns (T, error)
+// instead of (T, int, error). The analyzer only requires that the results
+// include the type. No finding.
+type WorldSnapshot struct {
+	Round uint64
+}
+
+func (s WorldSnapshot) AppendTo(b []byte) []byte { return b }
+func (s WorldSnapshot) WireSize() int            { return 8 }
+
+// DecodeWorldSnapshot decodes one snapshot from a shared decoder.
+func DecodeWorldSnapshot(d *int) (WorldSnapshot, error) { return WorldSnapshot{}, nil }
+
+// MoverSnapshot is an opaque-blob snapshot that grew an encoder without
+// the rest of the surface: nothing can size it exactly or replay it.
+type MoverSnapshot struct { // want `declares AppendTo but not WireSize` `no func DecodeMoverSnapshot`
+	X, Y float64
+}
+
+func (s MoverSnapshot) AppendTo(b []byte) []byte { return b }
+
+// HaloSnapshot's trio uses pointer receivers and a pointer-returning
+// decoder; both satisfy the surface. No finding.
+type HaloSnapshot struct {
+	K int
+}
+
+func (s *HaloSnapshot) AppendTo(b []byte) []byte { return b }
+func (s *HaloSnapshot) WireSize() int            { return 0 }
+
+// DecodeHaloSnapshot returns the type by pointer.
+func DecodeHaloSnapshot(b []byte) (*HaloSnapshot, error) { return nil, nil }
+
+// PlaneSnapshot is decode-only: a reader for a format some other plane
+// owns carries no encoder obligation. No finding.
+type PlaneSnapshot struct {
+	N int
+}
+
+// DecodePlaneSnapshot reads a foreign encoding.
+func DecodePlaneSnapshot(b []byte) (PlaneSnapshot, error) { return PlaneSnapshot{}, nil }
