@@ -22,6 +22,11 @@
 //	chabench -parallel          # fan cells out over a worker pool
 //	chabench -timing=false      # deterministic output (perf fields blanked)
 //
+// Profiling a run (see README "Profiling" for the workflow):
+//
+//	chabench -only E14 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
+//
 // Comparing against a committed baseline:
 //
 //	chabench -json -only E10,E11,E12,E13,E14 -seeds 1,2,3 -out bench.json
@@ -49,6 +54,7 @@ import (
 
 	_ "vinfra/internal/experiments" // registers E1..E14 descriptors
 	"vinfra/internal/harness"
+	"vinfra/internal/prof"
 )
 
 // tolFlag is the -tolerance value: a default fractional slowdown plus
@@ -113,6 +119,9 @@ func main() {
 		timing   = flag.Bool("timing", true, "sample wall time and allocations; =false blanks measured values for byte-stable output")
 		note     = flag.String("note", "", "free-form note recorded in the JSON header (machine, commit, ...)")
 
+		cpuProfile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a runtime/pprof heap profile (post-GC live set) to this file at exit")
+
 		compare   = flag.String("compare", "", "compare the given report JSON against -baseline and exit")
 		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "baseline report for -compare")
 		tolerance = tolFlag{base: 0.30}
@@ -124,8 +133,20 @@ func main() {
 	soak := registerSoakFlags()
 	flag.Parse()
 
+	profiler, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
+		os.Exit(2)
+	}
+	defer profiler.Stop()
+	// os.Exit skips defers; every exit below flushes the profiles first.
+	exit := func(code int) {
+		profiler.Stop()
+		os.Exit(code)
+	}
+
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *baseline, tolerance, *calibrate, *minWall))
+		exit(runCompare(*compare, *baseline, tolerance, *calibrate, *minWall))
 	}
 	if soak.exp != "" {
 		out := os.Stdout
@@ -133,19 +154,19 @@ func main() {
 			f, err := os.Create(*outPath)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			code := runSoak(soak, *quick, f)
 			f.Close()
-			os.Exit(code)
+			exit(code)
 		}
-		os.Exit(runSoak(soak, *quick, out))
+		exit(runSoak(soak, *quick, out))
 	}
 
 	seeds, err := parseSeeds(*seedsStr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	w := *workers
 	if *parallel && w <= 0 {
@@ -161,7 +182,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	out := os.Stdout
@@ -169,7 +190,7 @@ func main() {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer f.Close()
 		out = f
@@ -177,7 +198,7 @@ func main() {
 	if *jsonOut {
 		if err := suite.WriteJSON(out); err != nil {
 			fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}

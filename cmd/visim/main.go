@@ -17,6 +17,11 @@
 //	visim -vrounds 120 -checkpoint run.ckpt -checkpoint-every 40
 //	visim -vrounds 120 -restore run.ckpt -checkpoint run.ckpt -checkpoint-every 40
 //	visim -vrounds 120 -restore run.ckpt    # final segment prints the tables
+//
+// Profiling a run (see README "Profiling" for the workflow):
+//
+//	visim -grid 8x8 -devices 16 -parallel -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"vinfra/internal/geo"
 	"vinfra/internal/metrics"
 	"vinfra/internal/mobility"
+	"vinfra/internal/prof"
 	"vinfra/internal/radio"
 	"vinfra/internal/sim"
 	"vinfra/internal/vi"
@@ -48,6 +54,8 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file to write (at -checkpoint-every, and when the run completes)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "suspend to -checkpoint after this many virtual rounds in this invocation (0 = run to completion)")
 	restorePath := flag.String("restore", "", "resume from this checkpoint file (all other flags must match the suspended run)")
+	cpuProfile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a runtime/pprof heap profile (post-GC live set) to this file at exit")
 	flag.Parse()
 	if *ckptEvery > 0 && *ckptPath == "" {
 		fmt.Fprintln(os.Stderr, "visim: -checkpoint-every needs -checkpoint FILE to write to")
@@ -58,6 +66,19 @@ func main() {
 	if _, err := fmt.Sscanf(*gridSpec, "%dx%d", &cols, &rows); err != nil || cols < 1 || rows < 1 {
 		fmt.Fprintf(os.Stderr, "visim: bad -grid %q\n", *gridSpec)
 		os.Exit(2)
+	}
+
+	profiler, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "visim: %v\n", err)
+		os.Exit(2)
+	}
+	defer profiler.Stop()
+	// os.Exit skips defers; every exit below flushes the profiles first.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		profiler.Stop()
+		os.Exit(1)
 	}
 
 	radii := geo.Radii{R1: 10, R2: 20}
@@ -72,8 +93,7 @@ func main() {
 		VMax:      0.02,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "visim: %v\n", err)
-		os.Exit(1)
+		fail("visim: %v\n", err)
 	}
 
 	medium := radio.MustMedium(radio.Config{Radii: radii, Detector: cd.AC{}, Seed: *seed, Parallel: *parallel})
@@ -156,8 +176,7 @@ func main() {
 	if *restorePath != "" {
 		cp, err := checkpoint.ReadFile(*restorePath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "visim: %v\n", err)
-			os.Exit(1)
+			fail("visim: %v\n", err)
 		}
 		err = medium.Restore(cp.Medium)
 		if err == nil {
@@ -174,8 +193,7 @@ func main() {
 			err = d.Finish()
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "visim: restore %s: %v (do the flags match the suspended run?)\n", *restorePath, err)
-			os.Exit(1)
+			fail("visim: restore %s: %v (do the flags match the suspended run?)\n", *restorePath, err)
 		}
 	}
 
@@ -184,8 +202,7 @@ func main() {
 		if *ckptEvery > 0 && stepped == *ckptEvery {
 			cp := checkpoint.Checkpoint{Engine: eng.Snapshot(), Medium: medium.Snapshot(), Driver: driverState(vr)}
 			if err := cp.WriteFile(*ckptPath); err != nil {
-				fmt.Fprintf(os.Stderr, "visim: %v\n", err)
-				os.Exit(1)
+				fail("visim: %v\n", err)
 			}
 			fmt.Fprintf(os.Stderr, "visim: suspended at vround %d/%d -> %s\n", vr, *vrounds, *ckptPath)
 			return
@@ -196,8 +213,7 @@ func main() {
 	if *ckptPath != "" {
 		cp := checkpoint.Checkpoint{Engine: eng.Snapshot(), Medium: medium.Snapshot(), Driver: driverState(*vrounds)}
 		if err := cp.WriteFile(*ckptPath); err != nil {
-			fmt.Fprintf(os.Stderr, "visim: %v\n", err)
-			os.Exit(1)
+			fail("visim: %v\n", err)
 		}
 	}
 

@@ -34,11 +34,11 @@ var e14Desc = harness.Descriptor{
 	ID:    "E14",
 	Group: "E14",
 	Title: "E14 — city: region-sharded engine at metro scale",
-	Notes: "same deployment run on 1 shard then 8; match pins the runs byte-identical (the determinism contract), rounds/s columns are measured wall clock; halo tx = boundary-band copies handed to neighbor shards in the 8-shard run",
+	Notes: "same deployment run on 1 shard then 8; match pins the runs byte-identical (the determinism contract), rounds/s and part ms columns are measured wall clock; halo tx = boundary-band copies handed to neighbor shards in the 8-shard run; part ms x8 = cumulative partition-pass time of the 8-shard run on the persistent worker runtime",
 	Columns: []string{
 		"devices", "vnodes", "vrounds", "rounds",
 		"availability", "coverage", "wire B", "halo tx", "match",
-		"rounds/s x1", "rounds/s x8", "speedup",
+		"rounds/s x1", "rounds/s x8", "speedup", "part ms x8",
 	},
 	Grid: func(quick bool) []harness.Params {
 		type shape struct {
@@ -52,6 +52,7 @@ var e14Desc = harness.Descriptor{
 			{"100k/15x15", 100_000, 15, 15, 3},
 			{"100k/30x30", 100_000, 30, 30, 3},
 			{"500k/30x30", 500_000, 30, 30, 2},
+			{"1M/30x30", 1_000_000, 30, 30, 1},
 		}
 		if quick {
 			shapes = []shape{{"2k/5x5", 2_000, 5, 5, 2}}
@@ -128,6 +129,7 @@ type cityOutcome struct {
 	rounds  int
 	halo    int
 	elapsed time.Duration
+	part    time.Duration // cumulative partition-pass time (subset of elapsed)
 }
 
 // cityRun builds and runs one city deployment on the given shard count and
@@ -144,11 +146,13 @@ func cityRun(c *harness.Cell, shards int) cityOutcome {
 	}
 	elapsed := time.Since(start)
 	sig, st := s.outcome()
+	s.bed.eng.Close() // release this run's worker pool before the next run
 	return cityOutcome{
 		sig:     sig,
 		rounds:  st.Rounds,
 		halo:    st.HaloTransmissions,
 		elapsed: elapsed,
+		part:    s.bed.eng.PartitionTime(),
 	}
 }
 
@@ -179,6 +183,7 @@ func cityCell(c *harness.Cell) []harness.Row {
 	if rps1 > 0 {
 		speedup = rps8 / rps1
 	}
+	partMs := eight.part.Seconds() * 1000
 	return []harness.Row{{
 		harness.Int(devices), harness.Int(cols * rows), harness.Int(vrounds),
 		harness.Int(eight.rounds),
@@ -188,5 +193,6 @@ func cityCell(c *harness.Cell) []harness.Row {
 		harness.MeasuredFloat(fmt.Sprintf("%.0f", rps1), rps1),
 		harness.MeasuredFloat(fmt.Sprintf("%.0f", rps8), rps8),
 		harness.MeasuredFloat(metrics.F(speedup)+"x", speedup),
+		harness.MeasuredFloat(fmt.Sprintf("%.1f", partMs), partMs),
 	}}
 }

@@ -1,0 +1,76 @@
+// Package prof wires runtime/pprof into the CLIs: a CPU profile sampled
+// for the whole run and a heap profile written at exit. It exists so
+// chabench and visim expose identical -cpuprofile/-memprofile flags and so
+// their os.Exit paths (which skip defers) have one explicit flush point.
+//
+// Profiling is observation, not simulation state: nothing here feeds back
+// into an engine, so the determinism contract is untouched whether or not
+// the profiles are enabled.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler holds the open CPU-profile file and the pending heap-profile
+// path. The zero value (from Start("", "")) is a no-op: Stop on it does
+// nothing, so callers never need to branch on whether profiling is on.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling to cpuPath (when non-empty) and records
+// memPath for Stop to write a heap profile to (when non-empty). On error
+// nothing is left running and no file is left open.
+func Start(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath == "" {
+		return p, nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("prof: -cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: -cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return p, nil
+}
+
+// Stop flushes both profiles: it stops and closes the CPU profile, then
+// runs a GC and writes the heap profile, so the memory numbers reflect
+// live retained memory rather than garbage awaiting collection. Stop is
+// idempotent and must run before any os.Exit — deferred calls don't.
+// Profile-flush failures are reported on stderr rather than returned:
+// every caller is already on its way out with the run's real exit code.
+func (p *Profiler) Stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: -cpuprofile: %v\n", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		path := p.memPath
+		p.memPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prof: -memprofile: %v\n", err)
+			return
+		}
+		runtime.GC() // materialize live-set numbers in the heap profile
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: -memprofile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: -memprofile: %v\n", err)
+		}
+	}
+}

@@ -16,27 +16,31 @@ func TestEngineStepSteadyStateAllocs(t *testing.T) {
 		t.Skip("allocation counts are not meaningful under the race detector")
 	}
 	for _, tc := range []struct {
-		name     string
-		parallel bool
-		budget   float64
+		name   string
+		opts   []Option
+		budget float64
 	}{
-		// Sequential rounds allocate nothing; parallel rounds pay only the
-		// worker-pool goroutine spawns.
-		{"sequential", false, 0},
-		{"parallel", true, 64},
+		// Sequential, parallel and region-sharded rounds all allocate
+		// nothing once warm: the persistent worker runtime hands chunks to
+		// parked helpers over preallocated channels (the old spawn-per-round
+		// path cost ~64 allocs/round in goroutine and WaitGroup churn), and
+		// the parallel partition reuses its counting-sort scratch.
+		{"sequential", nil, 0},
+		{"parallel", []Option{WithWorkers(4)}, 0},
+		{"sharded-parallel", []Option{
+			WithWorkers(4), WithParallel(),
+			WithRegionShards(4, 2, 20, func() Medium { return &nullMedium{} }),
+		}, 0},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			opts := []Option{WithSeed(1)}
-			if tc.parallel {
-				opts = append(opts, WithWorkers(4))
-			}
-			e := NewEngine(&nullMedium{}, opts...)
+			e := NewEngine(&nullMedium{}, append([]Option{WithSeed(1)}, tc.opts...)...)
+			defer e.Close()
 			for i := 0; i < 10_000; i++ {
-				e.Attach(geo.Point{X: float64(i)}, nil, func(env Env) Node {
+				e.Attach(geo.Point{X: float64(i%500) * 0.5, Y: float64(i/500) * 0.5}, nil, func(env Env) Node {
 					return &countNode{env: env}
 				})
 			}
-			e.Run(3) // warm the reusable buffers
+			e.Run(3) // warm the reusable buffers and start the pool
 			avg := testing.AllocsPerRun(5, func() { e.Step() })
 			if avg > tc.budget {
 				t.Errorf("steady-state Step allocates %.1f times per round at 10k nodes, want <= %v", avg, tc.budget)

@@ -82,6 +82,47 @@ func BenchmarkEngineStep1kParallel(b *testing.B)  { benchEngineLarge(b, 1_000, t
 func BenchmarkEngineStep10k(b *testing.B)         { benchEngineLarge(b, 10_000, false) }
 func BenchmarkEngineStep10kParallel(b *testing.B) { benchEngineLarge(b, 10_000, true) }
 
+// benchEngineSharded measures a region-sharded parallel round (partition +
+// per-shard collect/deliver) on an 8-shard grid, with the nodes spread over
+// the shard rectangles. spawn=true forces the legacy goroutine-per-round
+// fan-out; spawn=false runs the persistent worker runtime — the comparison
+// is the pool's scheduling win, everything else being byte-identical.
+func benchEngineSharded(b *testing.B, nodes int, spawn bool) {
+	e := NewEngine(nil,
+		WithSeed(1),
+		WithRegionShards(4, 2, 20, func() Medium { return &nullMedium{} }),
+		WithParallel(),
+		WithWorkers(8),
+	)
+	defer e.Close()
+	e.spawnFanout = spawn
+	cols := 1
+	for cols*cols < nodes {
+		cols++
+	}
+	for i := 0; i < nodes; i++ {
+		e.Attach(geo.Point{X: float64(i%cols) * 1.6, Y: float64(i/cols) * 1.6}, nil, func(env Env) Node {
+			return &countNode{env: env}
+		})
+	}
+	e.Run(2) // warm buffers; start the pool on the pool variant
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStepSharded(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		name := "10k"
+		if n == 100_000 {
+			name = "100k"
+		}
+		b.Run(name+"/pool", func(b *testing.B) { benchEngineSharded(b, n, false) })
+		b.Run(name+"/spawn", func(b *testing.B) { benchEngineSharded(b, n, true) })
+	}
+}
+
 func BenchmarkEngineMobility(b *testing.B) {
 	e := NewEngine(perfectMedium{})
 	for i := 0; i < 32; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"vinfra/internal/det"
 	"vinfra/internal/geo"
@@ -32,16 +33,29 @@ type Engine struct {
 	txs     []Transmission
 	txSlots []Message // parallel Transmit scratch, indexed by NodeID
 
-	// Cached shard closures and their per-round inputs. Shard hands the
-	// callback to worker goroutines, which forces it onto the heap, so
-	// building the closures fresh every round would allocate; instead they
-	// are built once and read the current round (and receptions) from
-	// these fields.
+	// Cached fan-out closures and their per-round inputs. The worker
+	// runtime hands the callback to helper goroutines, which forces it
+	// onto the heap, so building the closures fresh every round would
+	// allocate; instead they are built once and read the current round
+	// (and receptions) from these fields.
 	curRound Round
 	curRxs   []Reception
-	mobFn    func(lo, hi int)
-	txFn     func(lo, hi int)
-	rxFn     func(lo, hi int)
+	mobFn    func(w, lo, hi int)
+	txFn     func(w, lo, hi int)
+	rxFn     func(w, lo, hi int)
+
+	// pool is the persistent worker runtime behind every parallel
+	// fan-out: started lazily on the first parallel round, torn down by
+	// Close and Snapshot (and rebuilt lazily if the engine steps again).
+	// spawnFanout forces the legacy goroutine-per-round path instead —
+	// the benchmark baseline the pool is measured against.
+	pool        *workerPool
+	spawnFanout bool
+
+	// partTime accumulates wall time spent in the sharded
+	// mobility+partition pass. It is a measurement, not state: never part
+	// of Stats or a snapshot, so determinism contracts are unaffected.
+	partTime time.Duration
 
 	// plane, when non-nil, replaces the single-medium delivery path with
 	// the region-sharded one (WithRegionShards): per-shard mediums over
@@ -331,7 +345,7 @@ func (e *Engine) Step() {
 	// round is fixed (Move, then Transmit), so this is deterministic
 	// whether the shards run sequentially or in parallel.
 	if e.mobFn == nil {
-		e.mobFn = func(lo, hi int) {
+		e.mobFn = func(_, lo, hi int) {
 			for _, st := range e.alive[lo:hi] {
 				if st.mover != nil {
 					st.pos = st.mover.Move(e.curRound, st.pos, st.rng.Intn)
@@ -383,7 +397,7 @@ func (e *Engine) collectTransmissions(r Round) []Transmission {
 			e.txSlots = make([]Message, len(e.nodes))
 		}
 		if e.txFn == nil {
-			e.txFn = func(lo, hi int) {
+			e.txFn = func(_, lo, hi int) {
 				for _, st := range e.alive[lo:hi] {
 					e.txSlots[st.id] = st.node.Transmit(e.curRound)
 				}
@@ -409,7 +423,7 @@ func (e *Engine) collectTransmissions(r Round) []Transmission {
 func (e *Engine) deliver(r Round, rxs []Reception) {
 	e.curRxs = rxs
 	if e.rxFn == nil {
-		e.rxFn = func(lo, hi int) {
+		e.rxFn = func(_, lo, hi int) {
 			for _, st := range e.alive[lo:hi] {
 				st.node.Receive(e.curRound, e.curRxs[st.id])
 			}
@@ -420,24 +434,103 @@ func (e *Engine) deliver(r Round, rxs []Reception) {
 }
 
 // shard runs fn over contiguous ranges covering the alive list: on one
-// range sequentially by default, or on per-worker ranges concurrently under
-// WithParallel. Callers must only touch per-node state (or per-node slots)
-// inside fn.
-func (e *Engine) shard(fn func(lo, hi int)) {
+// range sequentially by default, or fanned across the persistent worker
+// runtime under WithParallel. Callers must only touch per-node state (or
+// per-node slots) inside fn.
+func (e *Engine) shard(fn func(w, lo, hi int)) {
 	w := 1
 	if e.parallel {
-		w = e.workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
+		w = e.fanout()
+	}
+	e.runChunks(len(e.alive), w, fn)
+}
+
+// fanout returns the resolved parallel width for node-ranged fan-outs: the
+// explicit WithWorkers bound, or GOMAXPROCS.
+func (e *Engine) fanout() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// poolWidth returns the widest fan-out any engine loop can request — the
+// node-ranged width, or one chunk per region shard when the sharded plane
+// defaults to shard-per-goroutine — and therefore the persistent pool's
+// size. Sized once, when the pool is lazily created.
+func (e *Engine) poolWidth() int {
+	w := e.fanout()
+	if e.plane != nil && e.workers <= 0 {
+		if s := e.plane.plan.Shards(); s > w {
+			w = s
 		}
 	}
-	Shard(len(e.alive), w, fn)
+	return w
+}
+
+// runChunks runs fn over [0, n) in at most k balanced contiguous chunks
+// (chunk w covers [w*n/k, (w+1)*n/k)): inline when k <= 1, otherwise on
+// the persistent worker runtime, creating it on first use. With
+// spawnFanout set it spawns a goroutine per chunk instead — the legacy
+// per-round fan-out kept as the benchmark baseline; the chunk boundaries
+// (and therefore the output) are identical on every path.
+func (e *Engine) runChunks(n, k int, fn func(w, lo, hi int)) {
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	if e.spawnFanout {
+		var wg sync.WaitGroup
+		for w := 1; w < k; w++ {
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				fn(w, lo, hi)
+			}(w, w*n/k, (w+1)*n/k)
+		}
+		fn(0, 0, n/k)
+		wg.Wait()
+		return
+	}
+	if e.pool == nil {
+		e.pool = newWorkerPool(e.poolWidth() - 1)
+	}
+	e.pool.run(n, k, fn)
+}
+
+// Close releases the persistent worker runtime (helper goroutines parked
+// between rounds). The engine stays fully usable — the next parallel Step
+// lazily builds a fresh pool — so Close is safe to call whenever an engine
+// goes idle, and is idempotent. It must not run concurrently with Step.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// PartitionTime returns the cumulative wall time the region-sharded plane
+// has spent in its partition pass (zero on the single-medium path). It is
+// a measurement for perf reporting — deliberately excluded from Stats and
+// snapshots, so determinism comparisons never see it.
+func (e *Engine) PartitionTime() time.Duration {
+	return e.partTime
 }
 
 // Shard splits [0, n) into at most workers contiguous chunks and runs fn on
 // each, concurrently when workers > 1, returning once every chunk is done.
-// It is the sharding primitive behind the engine's parallel fan-out and the
-// radio medium's parallel delivery; fn must only touch state owned by (or
+// Chunks are balanced: chunk i covers [i*n/w, (i+1)*n/w), so sizes differ
+// by at most one and every chunk is non-empty — the old ceil-division
+// split could strand most workers and leave a degenerate last chunk (n=9,
+// workers=8 produced five chunks of 2,2,2,2,1).
+//
+// This is the spawn-per-call primitive used by the radio medium's parallel
+// delivery (which may run nested inside an engine worker and so cannot
+// share the engine's pool); the engine's own fan-outs run on the
+// persistent worker runtime instead. fn must only touch state owned by (or
 // slotted per) the indices it is given.
 func Shard(n, workers int, fn func(lo, hi int)) {
 	if workers > n {
@@ -447,18 +540,14 @@ func Shard(n, workers int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	for w := 1; w < workers; w++ {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
-		}(lo, hi)
+		}(w*n/workers, (w+1)*n/workers)
 	}
+	fn(0, n/workers)
 	wg.Wait()
 }

@@ -1,0 +1,97 @@
+package sim
+
+// workerPool is the engine's persistent worker runtime: a fixed set of
+// long-lived helper goroutines that execute contiguous index chunks of a
+// fan-out function. It replaces the per-round goroutine spawn (the old
+// Shard-per-call path) with a round-barrier handoff — one buffered channel
+// send per busy helper and one completion receive per chunk — so a
+// steady-state round performs no goroutine creation, no WaitGroup churn
+// and no allocation.
+//
+// Determinism is untouched by construction: the pool only decides *where*
+// a chunk runs, never what the chunks are (run computes the same balanced
+// chunk boundaries for the same (n, k)) and never how results merge
+// (callers merge per-node or per-shard slots in NodeID order afterwards).
+// The channel handoffs give the usual happens-before edges: a helper sees
+// every write made before its task was sent, and the caller sees every
+// helper write once run returns.
+//
+// A pool is owned by exactly one driving goroutine (the engine's Step
+// loop): run is not reentrant and must not be called concurrently. Helpers
+// park on their task channel between rounds and hold no engine state, so
+// an idle pool costs only the parked goroutines; close releases them.
+type workerPool struct {
+	helpers []chan poolTask
+	done    chan struct{}
+}
+
+// poolTask is one chunk handoff: the fan-out function plus the chunk index
+// and index range it should cover. The func value and plain ints copy into
+// the channel's preallocated buffer, so sending a task allocates nothing.
+type poolTask struct {
+	fn     func(w, lo, hi int)
+	w      int
+	lo, hi int
+}
+
+// newWorkerPool starts helpers long-lived worker goroutines. The caller's
+// own goroutine always runs chunk 0, so a pool with h helpers supports
+// fan-outs up to h+1 chunks wide.
+func newWorkerPool(helpers int) *workerPool {
+	if helpers < 0 {
+		helpers = 0
+	}
+	p := &workerPool{done: make(chan struct{}, helpers)}
+	for i := 0; i < helpers; i++ {
+		ch := make(chan poolTask, 1)
+		p.helpers = append(p.helpers, ch)
+		go func() {
+			for t := range ch {
+				t.fn(t.w, t.lo, t.hi)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// width returns the widest fan-out the pool supports (helpers + the
+// caller's goroutine).
+func (p *workerPool) width() int { return len(p.helpers) + 1 }
+
+// run executes fn over [0, n) split into k balanced contiguous chunks:
+// chunk w covers [w*n/k, (w+1)*n/k), so chunk sizes differ by at most one
+// and every chunk is non-empty when k <= n (the degenerate tiny last chunk
+// of the old ceil-division split cannot occur). Chunks 1..k-1 are handed
+// to parked helpers; chunk 0 runs on the caller's goroutine; run returns
+// once every chunk is done. k is clamped to [1, min(n, width)]; with one
+// chunk fn runs inline (fn(0, 0, n), even when n is 0, matching Shard).
+func (p *workerPool) run(n, k int, fn func(w, lo, hi int)) {
+	if k > n {
+		k = n
+	}
+	if k > p.width() {
+		k = p.width()
+	}
+	if k <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	for w := 1; w < k; w++ {
+		p.helpers[w-1] <- poolTask{fn: fn, w: w, lo: w * n / k, hi: (w + 1) * n / k}
+	}
+	fn(0, 0, n/k)
+	for w := 1; w < k; w++ {
+		<-p.done
+	}
+}
+
+// close releases the helper goroutines. The pool must be idle (no run in
+// flight); after close it is unusable — the engine drops its reference and
+// lazily builds a fresh pool if it steps again.
+func (p *workerPool) close() {
+	for _, ch := range p.helpers {
+		close(ch)
+	}
+	p.helpers = nil
+}

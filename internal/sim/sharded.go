@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"vinfra/internal/shard"
 )
@@ -23,9 +24,11 @@ import (
 // within the interference radius (the radio.Medium contract; see the
 // Medium docs in types.go).
 //
-// Under WithParallel the shards run concurrently (one goroutine per shard
-// by default, or chunked over WithWorkers workers); without it they run
-// sequentially, byte-identical either way.
+// Under WithParallel the shards run concurrently on the engine's
+// persistent worker runtime (one chunk per shard by default, or chunked
+// over WithWorkers workers) and the partition pass itself fans out as a
+// per-chunk counting sort; without it they run sequentially,
+// byte-identical either way.
 func WithRegionShards(cols, rows int, cellSize float64, factory func() Medium) Option {
 	return func(e *Engine) {
 		plan, err := shard.NewPlan(cellSize, cols, rows)
@@ -75,20 +78,43 @@ type shardPlane struct {
 	rxs          []Reception // global receptions, indexed by NodeID
 	halo         int         // boundary-band copies scattered this round
 
+	// Parallel-partition scratch, reused across rounds: the counting-sort
+	// state each partition chunk owns. owner holds every alive node's
+	// shard (computed once in the count phase, read in the write phase);
+	// bounds/counts/offs are per-chunk — chunk w touches only bounds[w],
+	// counts[w] and offs[w], so the phases run race-free on the worker
+	// runtime and the merged resident lists are NodeID-ordered for any
+	// chunk count.
+	owner  []int32
+	bounds []cellBounds
+	counts [][]int32
+	offs   [][]int32
+
 	// Cached fan-out closures (the engine's mobFn idiom: building them per
-	// round would allocate because Shard moves them to the heap).
-	txFn func(lo, hi int)
-	rxFn func(lo, hi int)
-	eng  *Engine
+	// round would allocate because the worker handoff moves them to the
+	// heap).
+	txFn    func(w, lo, hi int)
+	rxFn    func(w, lo, hi int)
+	cellFn  func(w, lo, hi int)
+	countFn func(w, lo, hi int)
+	writeFn func(w, lo, hi int)
+	eng     *Engine
 }
 
-// round runs the sharded transmit/deliver/receive phases for round r,
-// after the engine has applied faults, crashes and mobility. It returns
-// the merged transmission list and the global reception slice (indexed by
-// NodeID, like the single-medium path) for stats and hooks.
+// cellBounds is one partition chunk's occupied-cell bounding box.
+type cellBounds struct {
+	minCX, minCY, maxCX, maxCY int64
+}
+
+// round runs the sharded partition/transmit/deliver/receive phases for
+// round r, after the engine has applied faults, crashes and mobility. It
+// returns the merged transmission list and the global reception slice
+// (indexed by NodeID, like the single-medium path) for stats and hooks.
 func (sp *shardPlane) round(e *Engine, r Round) ([]Transmission, []Reception) {
 	sp.eng = e
+	start := time.Now() //detlint:walltime partition cost is a Measured perf column (E14), never state
 	sp.partition(e)
+	e.partTime += time.Since(start) //detlint:walltime see above
 	txs := sp.collect(e)
 	sp.scatter(txs)
 	sp.deliverAndReceive(e, r)
@@ -97,22 +123,152 @@ func (sp *shardPlane) round(e *Engine, r Round) ([]Transmission, []Reception) {
 
 // partition assigns every alive node to the shard owning its post-mobility
 // cell. Fitting the shard grid to the occupied cell bounding box each
-// round keeps the split meaningful under mobility and churn; both passes
-// walk the alive list in NodeID order, so each shard's resident (and info)
-// slice is NodeID-ordered by construction.
+// round keeps the split meaningful under mobility and churn. The pass
+// scales with cores instead of devices: the cell/bounds scan, the
+// per-chunk counting sort and the resident writes all fan out over the
+// worker runtime in contiguous alive-list chunks, and because the alive
+// list is NodeID-ordered and chunk w's residents land at offsets computed
+// from the chunks before it, each shard's resident (and info) slice is
+// NodeID-ordered by construction — identical for every chunk count, so
+// sharded≡sequential holds for any worker width.
 func (sp *shardPlane) partition(e *Engine) {
-	for s := range sp.resident {
-		sp.resident[s] = sp.resident[s][:0]
-		sp.infos[s] = sp.infos[s][:0]
+	for s := range sp.cands {
 		sp.cands[s] = sp.cands[s][:0]
 	}
 	n := len(e.alive)
+	k := 1
+	if e.parallel {
+		if k = e.fanout(); k > n {
+			k = n
+		}
+	}
+	if k <= 1 {
+		sp.partitionSeq(e, n)
+		return
+	}
+
+	if cap(sp.cellX) < n {
+		sp.cellX = make([]int64, n)
+		sp.cellY = make([]int64, n)
+		sp.owner = make([]int32, n)
+	}
+	sp.cellX, sp.cellY, sp.owner = sp.cellX[:cap(sp.cellX)], sp.cellY[:cap(sp.cellY)], sp.owner[:cap(sp.owner)]
+	shards := sp.plan.Shards()
+	for len(sp.bounds) < k {
+		sp.bounds = append(sp.bounds, cellBounds{})
+		sp.counts = append(sp.counts, make([]int32, shards))
+		sp.offs = append(sp.offs, make([]int32, shards))
+	}
+
+	// Phase 1: cell coordinates plus a per-chunk bounding box.
+	if sp.cellFn == nil {
+		sp.cellFn = func(w, lo, hi int) {
+			e := sp.eng
+			b := cellBounds{math.MaxInt64, math.MaxInt64, math.MinInt64, math.MinInt64}
+			for i := lo; i < hi; i++ {
+				cx, cy := sp.plan.CellOf(e.alive[i].pos)
+				sp.cellX[i], sp.cellY[i] = cx, cy
+				if cx < b.minCX {
+					b.minCX = cx
+				}
+				if cx > b.maxCX {
+					b.maxCX = cx
+				}
+				if cy < b.minCY {
+					b.minCY = cy
+				}
+				if cy > b.maxCY {
+					b.maxCY = cy
+				}
+			}
+			sp.bounds[w] = b
+		}
+	}
+	e.runChunks(n, k, sp.cellFn)
+	b := sp.bounds[0]
+	for _, c := range sp.bounds[1:k] {
+		if c.minCX < b.minCX {
+			b.minCX = c.minCX
+		}
+		if c.maxCX > b.maxCX {
+			b.maxCX = c.maxCX
+		}
+		if c.minCY < b.minCY {
+			b.minCY = c.minCY
+		}
+		if c.maxCY > b.maxCY {
+			b.maxCY = c.maxCY
+		}
+	}
+	sp.plan.Fit(b.minCX, b.minCY, b.maxCX, b.maxCY)
+
+	// Phase 2: counting sort — each chunk bins its own nodes by owner.
+	if sp.countFn == nil {
+		sp.countFn = func(w, lo, hi int) {
+			counts := sp.counts[w]
+			for s := range counts {
+				counts[s] = 0
+			}
+			for i := lo; i < hi; i++ {
+				s := sp.plan.Owner(sp.cellX[i], sp.cellY[i])
+				sp.owner[i] = int32(s)
+				counts[s]++
+			}
+		}
+	}
+	e.runChunks(n, k, sp.countFn)
+
+	// Sequential seam: per-(chunk, shard) write offsets and exact resident
+	// lengths. O(k*shards), independent of the device count.
+	for s := 0; s < shards; s++ {
+		tot := 0
+		for w := 0; w < k; w++ {
+			sp.offs[w][s] = int32(tot)
+			tot += int(sp.counts[w][s])
+		}
+		if cap(sp.resident[s]) < tot {
+			sp.resident[s] = make([]*nodeState, tot)
+			sp.infos[s] = make([]NodeInfo, tot)
+		}
+		sp.resident[s] = sp.resident[s][:tot]
+		sp.infos[s] = sp.infos[s][:tot]
+	}
+
+	// Phase 3: every chunk writes its residents at its own offsets —
+	// chunk w's slots in shard s start where chunk w-1's ended, so the
+	// merged order is exactly the alive list's NodeID order.
+	if sp.writeFn == nil {
+		sp.writeFn = func(w, lo, hi int) {
+			e := sp.eng
+			offs := sp.offs[w]
+			for i := lo; i < hi; i++ {
+				st := e.alive[i]
+				s := sp.owner[i]
+				j := offs[s]
+				offs[s] = j + 1
+				sp.resident[s][j] = st
+				sp.infos[s][j] = NodeInfo{ID: st.id, At: st.pos, Alive: true}
+			}
+		}
+	}
+	e.runChunks(n, k, sp.writeFn)
+}
+
+// partitionSeq is the single-threaded partition (no WithParallel, or a
+// population too small to chunk): the same two NodeID-ordered passes the
+// plane has always run, byte-identical to the parallel counting sort.
+func (sp *shardPlane) partitionSeq(e *Engine, n int) {
+	for s := range sp.resident {
+		sp.resident[s] = sp.resident[s][:0]
+		sp.infos[s] = sp.infos[s][:0]
+	}
 	if n == 0 {
 		return
 	}
 	if cap(sp.cellX) < n {
 		sp.cellX = make([]int64, n)
 		sp.cellY = make([]int64, n)
+		sp.owner = make([]int32, n)
 	}
 	cellX, cellY := sp.cellX[:n], sp.cellY[:n]
 	var minCX, minCY, maxCX, maxCY int64 = math.MaxInt64, math.MaxInt64, math.MinInt64, math.MinInt64
@@ -149,7 +305,7 @@ func (sp *shardPlane) collect(e *Engine) []Transmission {
 		e.txSlots = make([]Message, len(e.nodes))
 	}
 	if sp.txFn == nil {
-		sp.txFn = func(lo, hi int) {
+		sp.txFn = func(_, lo, hi int) {
 			e := sp.eng
 			for s := lo; s < hi; s++ {
 				for _, st := range sp.resident[s] {
@@ -158,7 +314,7 @@ func (sp *shardPlane) collect(e *Engine) []Transmission {
 			}
 		}
 	}
-	Shard(len(sp.resident), sp.workers(e), sp.txFn)
+	e.runChunks(len(sp.resident), sp.workers(e), sp.txFn)
 	e.txs = e.txs[:0]
 	for _, st := range e.alive {
 		if m := e.txSlots[st.id]; m != nil {
@@ -214,7 +370,7 @@ func (sp *shardPlane) deliverAndReceive(e *Engine, r Round) {
 		sp.rxs[i] = Reception{Round: r}
 	}
 	if sp.rxFn == nil {
-		sp.rxFn = func(lo, hi int) {
+		sp.rxFn = func(_, lo, hi int) {
 			e := sp.eng
 			for s := lo; s < hi; s++ {
 				res := sp.resident[s]
@@ -233,12 +389,14 @@ func (sp *shardPlane) deliverAndReceive(e *Engine, r Round) {
 			}
 		}
 	}
-	Shard(len(sp.resident), sp.workers(e), sp.rxFn)
+	e.runChunks(len(sp.resident), sp.workers(e), sp.rxFn)
 }
 
 // workers returns the fan-out width for the per-shard loops: sequential
-// without WithParallel, one goroutine per shard by default under it, or
-// the explicit WithWorkers bound (contiguous shard chunks per worker).
+// without WithParallel, one chunk per shard by default under it, or the
+// explicit WithWorkers bound (contiguous shard chunks per worker). The
+// chunks run on the engine's persistent worker runtime, not on per-round
+// goroutines.
 func (sp *shardPlane) workers(e *Engine) int {
 	if !e.parallel {
 		return 1

@@ -125,7 +125,7 @@ func runShardedScenario(rounds int, opts ...Option) ([][]Reception, []geo.Point,
 func TestRegionShardedEqualsSequential(t *testing.T) {
 	const rounds = 18
 	wantHeard, wantPos, wantAlive, wantStats := runShardedScenario(rounds)
-	grids := []struct{ cols, rows int }{{1, 1}, {2, 1}, {2, 2}, {3, 3}, {5, 1}}
+	grids := []struct{ cols, rows int }{{1, 1}, {2, 1}, {2, 2}, {3, 3}, {4, 2}, {5, 1}}
 	for _, g := range grids {
 		for _, par := range []bool{false, true} {
 			opts := []Option{WithRegionShards(g.cols, g.rows, 10, func() Medium {

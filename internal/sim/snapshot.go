@@ -214,9 +214,13 @@ func DecodeEngineSnapshot(b []byte) (EngineSnapshot, error) {
 // Snapshot captures the engine's complete mutable state at a round
 // boundary: round counter, stats, every node's position/liveness/RNG
 // position and Snapshotter blobs, and the pending CrashAt schedule. Taking
-// a snapshot never mutates the engine; two snapshots of the same state are
-// byte-identical (map walks are sorted into canonical order).
+// a snapshot never mutates simulation state; two snapshots of the same
+// state are byte-identical (map walks are sorted into canonical order).
+// It does release the persistent worker runtime (Close) so a checkpoint
+// boundary carries no live worker goroutines — the pool is code, not
+// state, and is rebuilt lazily on the next parallel Step.
 func (e *Engine) Snapshot() EngineSnapshot {
+	e.Close()
 	s := EngineSnapshot{
 		Seed:        e.seed,
 		Round:       e.round,

@@ -114,3 +114,63 @@ func shardMergeSorted(shards []map[int64]string, out chan<- string) {
 		out <- byCell[cell]
 	}
 }
+
+// poolTask models the persistent-worker handoff: a long-lived helper
+// goroutine reads work from a channel. The task channel itself is fine;
+// what matters is what feeds it.
+type poolTask struct {
+	id  int64
+	job string
+}
+
+// feedPoolFromMap is the persistent-worker idiom the runtime must never
+// adopt: a work queue fed by ranging a map hands tasks to the long-lived
+// workers in hash order, so which worker gets which task — and therefore
+// any order-sensitive downstream effect — varies run to run.
+func feedPoolFromMap(pending map[int64]string, queue chan<- poolTask) {
+	for id, job := range pending {
+		queue <- poolTask{id: id, job: job} // want `channel send`
+	}
+}
+
+// feedPoolSorted is the worker runtime's actual shape: the work list is
+// an ID-sorted slice (the engine's alive list is NodeID-ordered by
+// construction), so the stream of tasks into the parked workers is a pure
+// function of the state, not of map layout. No finding.
+func feedPoolSorted(pending map[int64]string, queue chan<- poolTask) {
+	var ids []int64
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		queue <- poolTask{id: id, job: pending[id]}
+	}
+}
+
+// mergeWorkerResults is the other half of the idiom: per-worker result
+// maps folded back together must merge by sorted key (the NodeID-order
+// merge), never by iteration order. The unsorted fold is flagged through
+// the append sink even though the append target is a struct slice.
+func mergeWorkerResults(perWorker []map[int64]string) []poolTask {
+	var merged []poolTask
+	for _, res := range perWorker {
+		for id, job := range res {
+			merged = append(merged, poolTask{id: id, job: job}) // want `a slice built by append`
+		}
+	}
+	return merged
+}
+
+// mergeWorkerResultsSorted collects, sorts by task ID, then emits —
+// identical output for any worker count or chunk assignment. No finding.
+func mergeWorkerResultsSorted(perWorker []map[int64]string) []poolTask {
+	var merged []poolTask
+	for _, res := range perWorker {
+		for id, job := range res {
+			merged = append(merged, poolTask{id: id, job: job})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].id < merged[j].id })
+	return merged
+}
