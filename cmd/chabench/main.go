@@ -52,9 +52,9 @@ import (
 	"strconv"
 	"strings"
 
+	"vinfra/internal/cli"
 	_ "vinfra/internal/experiments" // registers E1..E14 descriptors
 	"vinfra/internal/harness"
-	"vinfra/internal/prof"
 )
 
 // tolFlag is the -tolerance value: a default fractional slowdown plus
@@ -119,8 +119,7 @@ func main() {
 		timing   = flag.Bool("timing", true, "sample wall time and allocations; =false blanks measured values for byte-stable output")
 		note     = flag.String("note", "", "free-form note recorded in the JSON header (machine, commit, ...)")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
-		memProfile = flag.String("memprofile", "", "write a runtime/pprof heap profile (post-GC live set) to this file at exit")
+		profile cli.Profile
 
 		compare   = flag.String("compare", "", "compare the given report JSON against -baseline and exit")
 		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "baseline report for -compare")
@@ -130,10 +129,11 @@ func main() {
 	)
 	flag.Var(&tolerance, "tolerance",
 		"allowed fractional slowdown per cell for -compare, with optional per-experiment overrides (\"0.30,E14=0.40\")")
+	profile.Register(flag.CommandLine)
 	soak := registerSoakFlags()
 	flag.Parse()
 
-	profiler, err := prof.Start(*cpuProfile, *memProfile)
+	profiler, err := profile.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chabench: %v\n", err)
 		os.Exit(2)

@@ -27,21 +27,21 @@ import (
 	"strings"
 
 	"vinfra/internal/checkpoint"
+	"vinfra/internal/cli"
 	"vinfra/internal/experiments"
 	"vinfra/internal/harness"
 )
 
 // soakFlags holds the -soak flag family, registered next to the main flag
-// set and acted on before the suite runner.
+// set and acted on before the suite runner. The checkpoint trio comes from
+// internal/cli, shared with cmd/visim.
 type soakFlags struct {
 	exp     string
 	cell    string
 	seed    int64
 	shards  int
 	vrounds int
-	ckpt    string
-	every   int
-	restore string
+	ckpt    cli.Checkpoint
 }
 
 func registerSoakFlags() *soakFlags {
@@ -51,9 +51,7 @@ func registerSoakFlags() *soakFlags {
 	flag.Int64Var(&s.seed, "soakseed", 1, "seed for the -soak cell")
 	flag.IntVar(&s.shards, "shards", 0, "region shards for the -soak run (0 = experiment default)")
 	flag.IntVar(&s.vrounds, "soak-vrounds", 0, "override the -soak cell's virtual-round horizon (0 = grid value)")
-	flag.StringVar(&s.ckpt, "checkpoint", "", "checkpoint file to write (at -checkpoint-every, and again when the run completes)")
-	flag.IntVar(&s.every, "checkpoint-every", 0, "suspend to -checkpoint after this many virtual rounds in this invocation (0 = run to completion)")
-	flag.StringVar(&s.restore, "restore", "", "resume the -soak run from this checkpoint file")
+	s.ckpt.Register(flag.CommandLine)
 	return &s
 }
 
@@ -63,8 +61,8 @@ func runSoak(f *soakFlags, quick bool, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "chabench: soak: %v\n", err)
 		return 2
 	}
-	if f.every > 0 && f.ckpt == "" {
-		return fail(fmt.Errorf("-checkpoint-every needs -checkpoint FILE to write to"))
+	if err := f.ckpt.Validate(); err != nil {
+		return fail(err)
 	}
 	cell, err := soakCell(f, quick)
 	if err != nil {
@@ -74,32 +72,32 @@ func runSoak(f *soakFlags, quick bool, out io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	if f.restore != "" {
-		cp, err := checkpoint.ReadFile(f.restore)
+	if f.ckpt.Restore != "" {
+		cp, err := checkpoint.ReadFile(f.ckpt.Restore)
 		if err != nil {
 			return fail(err)
 		}
 		if err := s.Restore(cp); err != nil {
-			return fail(fmt.Errorf("restore %s: %v", f.restore, err))
+			return fail(fmt.Errorf("restore %s: %v", f.ckpt.Restore, err))
 		}
 	}
 
 	stepped := 0
 	for s.VRound() < s.VRounds() {
-		if f.every > 0 && stepped == f.every {
-			if err := s.Checkpoint().WriteFile(f.ckpt); err != nil {
+		if f.ckpt.Every > 0 && stepped == f.ckpt.Every {
+			if err := s.Checkpoint().WriteFile(f.ckpt.Path); err != nil {
 				return fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "chabench: soak: %s %s suspended at vround %d/%d -> %s\n",
-				f.exp, cell.Params.Label, s.VRound(), s.VRounds(), f.ckpt)
+				f.exp, cell.Params.Label, s.VRound(), s.VRounds(), f.ckpt.Path)
 			return 0
 		}
 		s.StepVRound()
 		stepped++
 	}
 
-	if f.ckpt != "" {
-		if err := s.Checkpoint().WriteFile(f.ckpt); err != nil {
+	if f.ckpt.Path != "" {
+		if err := s.Checkpoint().WriteFile(f.ckpt.Path); err != nil {
 			return fail(err)
 		}
 	}

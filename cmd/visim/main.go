@@ -1,22 +1,27 @@
-// Command visim runs an interactive virtual infrastructure simulation: a
-// grid of virtual nodes running the tracking service, mobile targets
-// roaming the field with random-waypoint mobility, and tethered devices
-// emulating the virtual nodes. It prints a per-interval status report:
-// per-virtual-node availability, join/reset counts, and where the trackers
-// believe each target is versus where it actually is.
+// Command visim runs an interactive virtual infrastructure simulation
+// described by a deployment spec: a grid of virtual nodes running a VI
+// application, roaming targets and tethered devices emulating the virtual
+// nodes. It prints per-virtual-node availability, join/reset counts, and —
+// for the tracking app — where the trackers believe each target is versus
+// where it actually is.
 //
-// Usage:
+// The world is an internal/spec document. The classic flags are shorthand
+// that visim translates into a spec; -dump-spec prints the effective spec
+// (defaults materialized) without running, and -spec runs a spec file
+// as-is — the same document POST /v1/sims accepts, with identical results:
 //
 //	visim -grid 3x3 -targets 2 -devices 4 -vrounds 120 -seed 7
+//	visim -grid 3x3 -targets 2 -dump-spec > world.json
+//	visim -spec world.json
 //	visim -grid 8x8 -devices 16 -parallel   # shard rounds across cores
 //
 // A run can be suspended into a checkpoint file and resumed by a later
-// process with identical results (the flags must match, since the
+// process with identical results (the spec must match, since the
 // checkpoint carries state, not configuration):
 //
-//	visim -vrounds 120 -checkpoint run.ckpt -checkpoint-every 40
-//	visim -vrounds 120 -restore run.ckpt -checkpoint run.ckpt -checkpoint-every 40
-//	visim -vrounds 120 -restore run.ckpt    # final segment prints the tables
+//	visim -spec world.json -checkpoint run.ckpt -checkpoint-every 40
+//	visim -spec world.json -restore run.ckpt -checkpoint run.ckpt -checkpoint-every 40
+//	visim -spec world.json -restore run.ckpt   # final segment prints the tables
 //
 // Profiling a run (see README "Profiling" for the workflow):
 //
@@ -29,18 +34,11 @@ import (
 	"fmt"
 	"os"
 
-	"vinfra/internal/apps"
-	"vinfra/internal/cd"
-	"vinfra/internal/cha"
 	"vinfra/internal/checkpoint"
-	"vinfra/internal/geo"
+	"vinfra/internal/cli"
 	"vinfra/internal/metrics"
-	"vinfra/internal/mobility"
-	"vinfra/internal/prof"
-	"vinfra/internal/radio"
-	"vinfra/internal/sim"
+	"vinfra/internal/spec"
 	"vinfra/internal/vi"
-	"vinfra/internal/wire"
 )
 
 func main() {
@@ -51,24 +49,70 @@ func main() {
 	vrounds := flag.Int("vrounds", 60, "virtual rounds to simulate")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Bool("parallel", false, "shard round delivery and node fan-out across CPU cores (same seed, same output)")
-	ckptPath := flag.String("checkpoint", "", "checkpoint file to write (at -checkpoint-every, and when the run completes)")
-	ckptEvery := flag.Int("checkpoint-every", 0, "suspend to -checkpoint after this many virtual rounds in this invocation (0 = run to completion)")
-	restorePath := flag.String("restore", "", "resume from this checkpoint file (all other flags must match the suspended run)")
-	cpuProfile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
-	memProfile := flag.String("memprofile", "", "write a runtime/pprof heap profile (post-GC live set) to this file at exit")
+	specPath := flag.String("spec", "", "run this deployment spec file instead of the world flags")
+	dumpSpec := flag.Bool("dump-spec", false, "print the effective deployment spec and exit without running")
+	var ckpt cli.Checkpoint
+	ckpt.Register(flag.CommandLine)
+	var profile cli.Profile
+	profile.Register(flag.CommandLine)
 	flag.Parse()
-	if *ckptEvery > 0 && *ckptPath == "" {
-		fmt.Fprintln(os.Stderr, "visim: -checkpoint-every needs -checkpoint FILE to write to")
+	if err := ckpt.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "visim: %v\n", err)
 		os.Exit(2)
 	}
 
-	var cols, rows int
-	if _, err := fmt.Sscanf(*gridSpec, "%dx%d", &cols, &rows); err != nil || cols < 1 || rows < 1 {
-		fmt.Fprintf(os.Stderr, "visim: bad -grid %q\n", *gridSpec)
-		os.Exit(2)
+	var s spec.Spec
+	if *specPath != "" {
+		worldFlags := map[string]bool{
+			"grid": true, "spacing": true, "devices": true, "targets": true,
+			"vrounds": true, "seed": true, "parallel": true,
+		}
+		conflict := ""
+		flag.Visit(func(f *flag.Flag) {
+			if worldFlags[f.Name] {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(os.Stderr, "visim: -%s conflicts with -spec (the spec file describes the whole world)\n", conflict)
+			os.Exit(2)
+		}
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visim: %v\n", err)
+			os.Exit(2)
+		}
+		if s, err = spec.Parse(b); err != nil {
+			fmt.Fprintf(os.Stderr, "visim: %s: %v\n", *specPath, err)
+			os.Exit(2)
+		}
+	} else {
+		var cols, rows int
+		if _, err := fmt.Sscanf(*gridSpec, "%dx%d", &cols, &rows); err != nil || cols < 1 || rows < 1 {
+			fmt.Fprintf(os.Stderr, "visim: bad -grid %q\n", *gridSpec)
+			os.Exit(2)
+		}
+		s = spec.Spec{
+			Version: spec.Version,
+			Seed:    *seed,
+			VRounds: *vrounds,
+			Grid:    spec.Grid{Cols: cols, Rows: rows, Spacing: *spacing},
+			App:     "tracker",
+			Devices: spec.Devices{Replicas: *devices, Targets: *targets},
+			Engine:  spec.Engine{Parallel: *parallel},
+		}
+		s.ApplyDefaults()
+		if err := s.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "visim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *dumpSpec {
+		os.Stdout.Write(s.JSON())
+		return
 	}
 
-	profiler, err := prof.Start(*cpuProfile, *memProfile)
+	profiler, err := profile.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "visim: %v\n", err)
 		os.Exit(2)
@@ -81,165 +125,67 @@ func main() {
 		os.Exit(1)
 	}
 
-	radii := geo.Radii{R1: 10, R2: 20}
-	grid := geo.Grid{Spacing: *spacing, Cols: cols, Rows: rows}
-	locs := grid.Locations()
-	sched := vi.BuildSchedule(locs, radii)
-
-	dep, err := vi.NewDeployment(vi.DeploymentConfig{
-		Locations: locs,
-		Radii:     radii,
-		Program:   apps.TrackerProgram(sched, apps.TrackerConfig{}),
-		VMax:      0.02,
-	})
+	w, err := spec.Build(s)
 	if err != nil {
 		fail("visim: %v\n", err)
 	}
+	defer w.Eng.Close()
 
-	medium := radio.MustMedium(radio.Config{Radii: radii, Detector: cd.AC{}, Seed: *seed, Parallel: *parallel})
-	engOpts := []sim.Option{sim.WithSeed(*seed)}
-	if *parallel {
-		engOpts = append(engOpts, sim.WithParallel())
-	}
-	eng := sim.NewEngine(medium, engOpts...)
-
-	// Emulator devices tethered near each virtual node.
-	greens := make([]int, len(locs))
-	outputs := make([]int, len(locs))
-	joins, resets := 0, 0
-	for v, loc := range locs {
-		v := v
-		for i := 0; i < *devices; i++ {
-			pos := geo.Point{X: loc.X + 0.4*float64(i) - 0.6, Y: loc.Y + 0.3}
-			eng.Attach(pos, mobility.Tether{Anchor: loc, Radius: 1.2, VMax: 0.02}, func(env sim.Env) sim.Node {
-				em := dep.NewEmulator(env, true)
-				em.SetHooks(vi.EmulatorHooks{
-					OnOutput: func(_ vi.VNodeID, out cha.Output) {
-						outputs[v]++
-						if out.Color == cha.Green {
-							greens[v]++
-						}
-					},
-					OnJoin:  func(vi.VNodeID, int) { joins++ },
-					OnReset: func(vi.VNodeID, int) { resets++ },
-				})
-				return em
-			})
-		}
-	}
-
-	// Mobile targets with random-waypoint mobility, beaconing their
-	// position; a stationary observer in the corner collects digests.
-	bounds := grid.Bounds()
-	area := geo.Rect{
-		Min: geo.Point{X: bounds.Min.X - 2, Y: bounds.Min.Y - 2},
-		Max: geo.Point{X: bounds.Max.X + 2, Y: bounds.Max.Y + 2},
-	}
-	targetIDs := make([]sim.NodeID, *targets)
-	for i := 0; i < *targets; i++ {
-		name := fmt.Sprintf("target-%c", 'A'+i)
-		var id sim.NodeID
-		id = eng.Attach(geo.Point{X: area.Min.X + float64(i), Y: area.Min.Y}, &mobility.RandomWaypoint{Area: area, VMax: 0.05},
-			func(env sim.Env) sim.Node {
-				return dep.NewClient(env, &apps.TargetClient{
-					Name:   name,
-					Period: 2,
-					Pos:    env.Location,
-				})
-			})
-		targetIDs[i] = id
-	}
-	observer := &apps.ObserverClient{}
-	eng.Attach(locs[0], nil, func(env sim.Env) sim.Node {
-		return dep.NewClient(env, observer)
-	})
-
-	per := dep.Timing().RoundsPerVRound()
+	per := w.RoundsPerVRound()
 	fmt.Printf("virtual infrastructure: %d virtual nodes, schedule length %d, %d radio rounds per virtual round\n",
-		len(locs), sched.Len(), per)
-	fmt.Printf("devices: %d emulators, %d targets; running %d virtual rounds (%d radio rounds)\n\n",
-		len(locs)**devices, *targets, *vrounds, *vrounds*per)
+		len(w.Locs), w.Dep.Schedule().Len(), per)
+	fmt.Printf("devices: %d total (%d emulators, %d targets); running %d virtual rounds (%d radio rounds)\n\n",
+		s.TotalDevices(), len(w.Locs)*s.Devices.Replicas, s.Devices.Targets, s.VRounds, s.VRounds*per)
 
-	// Checkpoint driver state: the vround cursor plus the hook counters the
-	// engine snapshot cannot see (they live in this function's closures).
-	driverState := func(vr int) []byte {
-		b := wire.AppendUvarint(nil, uint64(vr))
-		b = wire.AppendUvarint(b, uint64(joins))
-		b = wire.AppendUvarint(b, uint64(resets))
-		for v := range locs {
-			b = wire.AppendUvarint(b, uint64(greens[v]))
-			b = wire.AppendUvarint(b, uint64(outputs[v]))
-		}
-		return b
-	}
-	startVR := 0
-	if *restorePath != "" {
-		cp, err := checkpoint.ReadFile(*restorePath)
+	if ckpt.Restore != "" {
+		cp, err := checkpoint.ReadFile(ckpt.Restore)
 		if err != nil {
 			fail("visim: %v\n", err)
 		}
-		err = medium.Restore(cp.Medium)
-		if err == nil {
-			err = eng.Restore(cp.Engine)
-		}
-		if err == nil {
-			d := wire.Dec(cp.Driver)
-			startVR = int(d.Uvarint())
-			joins, resets = int(d.Uvarint()), int(d.Uvarint())
-			for v := range locs {
-				greens[v] = int(d.Uvarint())
-				outputs[v] = int(d.Uvarint())
-			}
-			err = d.Finish()
-		}
-		if err != nil {
-			fail("visim: restore %s: %v (do the flags match the suspended run?)\n", *restorePath, err)
+		if err := w.Restore(cp); err != nil {
+			fail("visim: restore %s: %v (does the spec match the suspended run?)\n", ckpt.Restore, err)
 		}
 	}
 
 	stepped := 0
-	for vr := startVR; vr < *vrounds; vr++ {
-		if *ckptEvery > 0 && stepped == *ckptEvery {
-			cp := checkpoint.Checkpoint{Engine: eng.Snapshot(), Medium: medium.Snapshot(), Driver: driverState(vr)}
-			if err := cp.WriteFile(*ckptPath); err != nil {
+	for w.VRound() < w.VRounds() {
+		if ckpt.Every > 0 && stepped == ckpt.Every {
+			if err := w.Checkpoint().WriteFile(ckpt.Path); err != nil {
 				fail("visim: %v\n", err)
 			}
-			fmt.Fprintf(os.Stderr, "visim: suspended at vround %d/%d -> %s\n", vr, *vrounds, *ckptPath)
+			fmt.Fprintf(os.Stderr, "visim: suspended at vround %d/%d -> %s\n", w.VRound(), w.VRounds(), ckpt.Path)
 			return
 		}
-		eng.Run(per)
+		w.StepVRound()
 		stepped++
 	}
-	if *ckptPath != "" {
-		cp := checkpoint.Checkpoint{Engine: eng.Snapshot(), Medium: medium.Snapshot(), Driver: driverState(*vrounds)}
-		if err := cp.WriteFile(*ckptPath); err != nil {
+	if ckpt.Path != "" {
+		if err := w.Checkpoint().WriteFile(ckpt.Path); err != nil {
 			fail("visim: %v\n", err)
 		}
 	}
 
+	sched := w.Dep.Schedule()
 	vnTable := metrics.NewTable("virtual nodes", "vn", "location", "slot", "availability")
-	for v, loc := range locs {
-		avail := 0.0
-		if outputs[v] > 0 {
-			avail = float64(greens[v]) / float64(outputs[v])
-		}
-		vnTable.AddRow(fmt.Sprintf("vn%d", v), loc.String(), metrics.D(sched.SlotOf(vi.VNodeID(v))), metrics.F(avail))
+	for v, loc := range w.Locs {
+		rep := w.Report(vi.VNodeID(v))
+		vnTable.AddRow(fmt.Sprintf("vn%d", v), loc.String(), metrics.D(sched.SlotOf(vi.VNodeID(v))), metrics.F(rep.Availability))
 	}
 	vnTable.Render(os.Stdout)
 
-	trTable := metrics.NewTable("tracking (observer at vn0)", "target", "believed", "actual", "error")
-	for i, id := range targetIDs {
-		name := fmt.Sprintf("target-%c", 'A'+i)
-		actual := eng.Position(id)
-		if sg, ok := observer.Lookup(name); ok {
-			believed := geo.Point{X: sg.X, Y: sg.Y}
-			trTable.AddRow(name, believed.String(), actual.String(), metrics.F(believed.Dist(actual)))
-		} else {
-			trTable.AddRow(name, "(unknown)", actual.String(), "-")
+	if len(w.Targets) > 0 {
+		trTable := metrics.NewTable("tracking (observer at vn0)", "target", "believed", "actual", "error")
+		for _, tg := range w.Targets {
+			actual := w.Eng.Position(tg.ID)
+			if believed, ok := w.Lookup(tg.Name); ok {
+				trTable.AddRow(tg.Name, believed.String(), actual.String(), metrics.F(believed.Dist(actual)))
+			} else {
+				trTable.AddRow(tg.Name, "(unknown)", actual.String(), "-")
+			}
 		}
+		trTable.Render(os.Stdout)
 	}
-	trTable.Render(os.Stdout)
 
 	fmt.Printf("joins: %d  resets: %d  transmissions: %d  max message: %d B\n",
-		joins, resets, eng.Stats().Transmissions, eng.Stats().MaxMessageSize)
+		w.Joins(), w.Resets(), w.Eng.Stats().Transmissions, w.Eng.Stats().MaxMessageSize)
 }

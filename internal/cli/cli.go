@@ -1,0 +1,62 @@
+// Package cli holds the flag families every vinfra command wires the same
+// way — profiling and checkpointing — so cmd/visim, cmd/chabench and
+// cmd/visimd register identical flags with identical semantics instead of
+// copy-pasting the wiring.
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"vinfra/internal/prof"
+)
+
+// Profile is the -cpuprofile/-memprofile flag pair.
+type Profile struct {
+	CPU string
+	Mem string
+}
+
+// Register installs the profiling flags on fs.
+func (p *Profile) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a runtime/pprof heap profile (post-GC live set) to this file at exit")
+}
+
+// Start begins profiling per the parsed flags. The caller must Stop the
+// returned profiler on every exit path; prof.Profiler.Stop is idempotent
+// and safe to call both deferred and before os.Exit.
+func (p *Profile) Start() (*prof.Profiler, error) {
+	return prof.Start(p.CPU, p.Mem)
+}
+
+// Checkpoint is the -checkpoint/-checkpoint-every/-restore flag family of
+// a resumable run.
+type Checkpoint struct {
+	// Path is the checkpoint file to write (at Every, and when the run
+	// completes).
+	Path string
+	// Every suspends to Path after this many virtual rounds in this
+	// invocation; 0 runs to completion.
+	Every int
+	// Restore resumes from this checkpoint file.
+	Restore string
+}
+
+// Register installs the checkpoint flags on fs.
+func (c *Checkpoint) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Path, "checkpoint", "", "checkpoint file to write (at -checkpoint-every, and again when the run completes)")
+	fs.IntVar(&c.Every, "checkpoint-every", 0, "suspend to -checkpoint after this many virtual rounds in this invocation (0 = run to completion)")
+	fs.StringVar(&c.Restore, "restore", "", "resume from this checkpoint file (the configuration must match the suspended run)")
+}
+
+// Validate enforces the family's cross-flag constraint.
+func (c *Checkpoint) Validate() error {
+	if c.Every > 0 && c.Path == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint FILE to write to")
+	}
+	if c.Every < 0 {
+		return fmt.Errorf("-checkpoint-every must not be negative (got %d)", c.Every)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestCheckpointFlags(t *testing.T) {
+	var c Checkpoint
+	fs := newFS()
+	c.Register(fs)
+	if err := fs.Parse([]string{"-checkpoint", "f.ckpt", "-checkpoint-every", "3", "-restore", "g.ckpt"}); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Path != "f.ckpt" || c.Every != 3 || c.Restore != "g.ckpt" {
+		t.Fatalf("parsed %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCheckpointValidate(t *testing.T) {
+	if err := (&Checkpoint{Every: 3}).Validate(); err == nil {
+		t.Fatal("-checkpoint-every without -checkpoint accepted")
+	}
+	if err := (&Checkpoint{Path: "f", Every: -1}).Validate(); err == nil {
+		t.Fatal("negative -checkpoint-every accepted")
+	}
+	if err := (&Checkpoint{}).Validate(); err != nil {
+		t.Fatalf("zero value rejected: %v", err)
+	}
+}
+
+func TestProfileFlagsAndStart(t *testing.T) {
+	var p Profile
+	fs := newFS()
+	p.Register(fs)
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu}); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.CPU != cpu || p.Mem != "" {
+		t.Fatalf("parsed %+v", p)
+	}
+	profiler, err := p.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	profiler.Stop()
+	profiler.Stop() // idempotent
+}
+
+func TestProfileStartRejectsBadPath(t *testing.T) {
+	p := Profile{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("unwritable profile path accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"vinfra/internal/vi"
+)
+
+// simSample is one tenant's metric readings, taken from the cached status
+// fields (never touching the loop goroutine).
+type simSample struct {
+	name     string
+	vround   int
+	vrounds  int
+	running  bool
+	rounds   int
+	txs      int
+	haloTxs  int
+	bytes    int
+	joins    int
+	resets   int
+	partSec  float64
+	rate     float64 // vrounds-per-second stepping rate of this process
+	perVNode []vi.AvailabilityReport
+}
+
+func (s *Service) sample() []simSample {
+	out := []simSample{}
+	for _, t := range s.tenants() {
+		t.mu.Lock()
+		sm := simSample{
+			name:    t.name,
+			vround:  t.vr,
+			vrounds: t.effSpec.VRounds,
+			running: t.target > t.vr,
+			rounds:  t.stats.Rounds,
+			txs:     t.stats.Transmissions,
+			haloTxs: t.stats.HaloTransmissions,
+			bytes:   t.stats.TotalBytes,
+			joins:   t.joins,
+			resets:  t.resets,
+			partSec: t.partTime.Seconds(),
+		}
+		if t.stepWall > 0 {
+			sm.rate = float64(t.stepped) / t.stepWall.Seconds()
+		}
+		vr := t.vr
+		t.mu.Unlock()
+		sm.perVNode = make([]vi.AvailabilityReport, len(t.locs))
+		for v := range t.locs {
+			sm.perVNode[v] = t.mon.ReportThrough(vi.VNodeID(v), vr)
+		}
+		out = append(out, sm)
+	}
+	return out
+}
+
+// handleMetrics renders the Prometheus text exposition format. Families
+// are emitted in a fixed order and samples sorted by sim name, so the
+// output is stable scrape to scrape.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	samples := s.sample()
+	var b strings.Builder
+
+	family := func(name, help, typ string, emit func(sm simSample)) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, sm := range samples {
+			emit(sm)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP vinfra_sims Resident simulations.\n# TYPE vinfra_sims gauge\nvinfra_sims %d\n", len(samples))
+	family("vinfra_sim_vround", "Virtual rounds executed.", "gauge", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_vround{sim=%q} %d\n", sm.name, sm.vround)
+	})
+	family("vinfra_sim_vrounds", "Virtual-round horizon.", "gauge", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_vrounds{sim=%q} %d\n", sm.name, sm.vrounds)
+	})
+	family("vinfra_sim_running", "1 while a background run is in progress.", "gauge", func(sm simSample) {
+		running := 0
+		if sm.running {
+			running = 1
+		}
+		fmt.Fprintf(&b, "vinfra_sim_running{sim=%q} %d\n", sm.name, running)
+	})
+	family("vinfra_sim_rounds_total", "Radio rounds executed.", "counter", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_rounds_total{sim=%q} %d\n", sm.name, sm.rounds)
+	})
+	family("vinfra_sim_transmissions_total", "Broadcast attempts.", "counter", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_transmissions_total{sim=%q} %d\n", sm.name, sm.txs)
+	})
+	family("vinfra_sim_halo_transmissions_total", "Cross-shard boundary-band transmission copies.", "counter", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_halo_transmissions_total{sim=%q} %d\n", sm.name, sm.haloTxs)
+	})
+	family("vinfra_sim_wire_bytes_total", "Accounted message bytes on the radio medium.", "counter", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_wire_bytes_total{sim=%q} %d\n", sm.name, sm.bytes)
+	})
+	family("vinfra_sim_joins_total", "Join-protocol completions.", "counter", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_joins_total{sim=%q} %d\n", sm.name, sm.joins)
+	})
+	family("vinfra_sim_resets_total", "Region resets.", "counter", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_resets_total{sim=%q} %d\n", sm.name, sm.resets)
+	})
+	family("vinfra_sim_partition_seconds_total", "Wall time in the region-sharded partition pass.", "counter", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_partition_seconds_total{sim=%q} %g\n", sm.name, sm.partSec)
+	})
+	family("vinfra_sim_vrounds_per_second", "Virtual-round stepping rate of this process.", "gauge", func(sm simSample) {
+		fmt.Fprintf(&b, "vinfra_sim_vrounds_per_second{sim=%q} %g\n", sm.name, sm.rate)
+	})
+	family("vinfra_vnode_availability", "Per-virtual-node availability through the current virtual round.", "gauge", func(sm simSample) {
+		for v, rep := range sm.perVNode {
+			fmt.Fprintf(&b, "vinfra_vnode_availability{sim=%q,vnode=\"%d\"} %.4f\n", sm.name, v, rep.Availability)
+		}
+	})
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

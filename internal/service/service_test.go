@@ -1,0 +1,411 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"vinfra/internal/checkpoint"
+	"vinfra/internal/spec"
+)
+
+// smallDoc is the shared world: a 2x1 counter grid with pingers, fast
+// enough to step under -race.
+const smallDoc = `{"version": "vinfra-spec/v1", "seed": 9, "vrounds": 8,
+	"grid": {"cols": 2, "rows": 1}, "devices": {"pingers": true}}`
+
+func newService(t *testing.T, dir string) *Service {
+	t.Helper()
+	svc, err := New(Options{StateDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// call drives one request through the handler and returns the recorder.
+func call(t *testing.T, svc *Service, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	svc.ServeHTTP(rec, req)
+	return rec
+}
+
+func callJSON(t *testing.T, svc *Service, method, path, body string, wantCode int, out any) {
+	t.Helper()
+	rec := call(t, svc, method, path, body)
+	if rec.Code != wantCode {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, path, rec.Code, wantCode, rec.Body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v\n%s", method, path, err, rec.Body)
+		}
+	}
+}
+
+func create(t *testing.T, svc *Service, name, doc string) SimStatus {
+	t.Helper()
+	var st SimStatus
+	callJSON(t, svc, "POST", "/v1/sims",
+		fmt.Sprintf(`{"name": %q, "spec": %s}`, name, doc), http.StatusCreated, &st)
+	return st
+}
+
+func TestCreateAndStatus(t *testing.T) {
+	svc := newService(t, "")
+	st := create(t, svc, "alpha", smallDoc)
+	if st.Name != "alpha" || st.VRound != 0 || st.VRounds != 8 || st.VNodes != 2 {
+		t.Fatalf("create status %+v", st)
+	}
+	var got SimStatus
+	callJSON(t, svc, "GET", "/v1/sims/alpha", "", http.StatusOK, &got)
+	if got != st {
+		t.Fatalf("GET status %+v != create status %+v", got, st)
+	}
+	var list []SimStatus
+	callJSON(t, svc, "GET", "/v1/sims", "", http.StatusOK, &list)
+	if len(list) != 1 || list[0].Name != "alpha" {
+		t.Fatalf("list %+v", list)
+	}
+	if rec := call(t, svc, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+}
+
+func TestCreateRejects(t *testing.T) {
+	svc := newService(t, "")
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad name", `{"name": "../etc", "spec": ` + smallDoc + `}`, http.StatusBadRequest},
+		{"missing spec", `{"name": "x"}`, http.StatusBadRequest},
+		{"unknown request field", `{"name": "x", "spec": ` + smallDoc + `, "sepc": 1}`, http.StatusBadRequest},
+		{"unknown spec field", `{"name": "x", "spec": {"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "gird": 1}}`, http.StatusBadRequest},
+		{"wrong version", `{"name": "x", "spec": {"version": "vinfra-spec/v9", "grid": {"cols": 2, "rows": 1}}}`, http.StatusBadRequest},
+		{"bad fault", `{"name": "x", "spec": {"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "faults": [{"kind": "sharknado"}]}}`, http.StatusBadRequest},
+		{"not json", `hello`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if rec := call(t, svc, "POST", "/v1/sims", tc.body); rec.Code != tc.code {
+				t.Fatalf("status %d (want %d): %s", rec.Code, tc.code, rec.Body)
+			}
+		})
+	}
+	create(t, svc, "dup", smallDoc)
+	if rec := call(t, svc, "POST", "/v1/sims", `{"name": "dup", "spec": `+smallDoc+`}`); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", rec.Code)
+	}
+	if rec := call(t, svc, "GET", "/v1/sims/ghost", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown sim: %d", rec.Code)
+	}
+}
+
+func TestStepAvailabilityEventsSpec(t *testing.T) {
+	svc := newService(t, "")
+	create(t, svc, "alpha", smallDoc)
+	var st SimStatus
+	callJSON(t, svc, "POST", "/v1/sims/alpha/step", `{"vrounds": 3}`, http.StatusOK, &st)
+	if st.VRound != 3 {
+		t.Fatalf("after step: vround %d, want 3", st.VRound)
+	}
+	if st.MeanAvailability != 1 {
+		t.Fatalf("fault-free availability %.3f, want 1.0", st.MeanAvailability)
+	}
+	// Default step is one vround.
+	callJSON(t, svc, "POST", "/v1/sims/alpha/step", "", http.StatusOK, &st)
+	if st.VRound != 4 {
+		t.Fatalf("default step: vround %d, want 4", st.VRound)
+	}
+	if rec := call(t, svc, "POST", "/v1/sims/alpha/step", `{"vrounds": 0}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("zero step accepted: %d", rec.Code)
+	}
+
+	var avail struct {
+		VRound int `json:"vround"`
+		VNodes []struct {
+			VNode        int     `json:"vnode"`
+			Instances    int     `json:"Instances"`
+			Availability float64 `json:"Availability"`
+		} `json:"vnodes"`
+	}
+	callJSON(t, svc, "GET", "/v1/sims/alpha/availability", "", http.StatusOK, &avail)
+	if avail.VRound != 4 || len(avail.VNodes) != 2 {
+		t.Fatalf("availability %+v", avail)
+	}
+	for _, v := range avail.VNodes {
+		if v.Availability != 1 {
+			t.Fatalf("vnode %d availability %.3f, want 1.0", v.VNode, v.Availability)
+		}
+	}
+
+	rec := call(t, svc, "GET", "/v1/sims/alpha/events", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("events: %d", rec.Code)
+	}
+	evs := rec.Body.String()
+	if !strings.Contains(evs, `"created"`) || !strings.Contains(evs, `"stepped"`) {
+		t.Fatalf("events missing created/stepped:\n%s", evs)
+	}
+	rec = call(t, svc, "GET", "/v1/sims/alpha/events?from=99", "")
+	if strings.TrimSpace(rec.Body.String()) != "" {
+		t.Fatalf("events from=99 should be empty, got:\n%s", rec.Body)
+	}
+
+	rec = call(t, svc, "GET", "/v1/sims/alpha/spec", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("spec: %d", rec.Code)
+	}
+	if _, err := spec.Parse(rec.Body.Bytes()); err != nil {
+		t.Fatalf("effective spec does not re-parse: %v\n%s", err, rec.Body)
+	}
+}
+
+func TestRunAndPause(t *testing.T) {
+	svc := newService(t, "")
+	create(t, svc, "alpha", smallDoc)
+	var st SimStatus
+	callJSON(t, svc, "POST", "/v1/sims/alpha/run", "", http.StatusAccepted, &st)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		callJSON(t, svc, "GET", "/v1/sims/alpha", "", http.StatusOK, &st)
+		if st.VRound == 8 && !st.Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background run never finished: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rec := call(t, svc, "GET", "/v1/sims/alpha/events", "")
+	if !strings.Contains(rec.Body.String(), `"run_done"`) {
+		t.Fatalf("no run_done event:\n%s", rec.Body)
+	}
+	if rec := call(t, svc, "POST", "/v1/sims/alpha/run", `{"target_vround": 3}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("backwards run target accepted: %d", rec.Code)
+	}
+
+	create(t, svc, "beta", smallDoc)
+	callJSON(t, svc, "POST", "/v1/sims/beta/run", `{"target_vround": 8}`, http.StatusAccepted, nil)
+	callJSON(t, svc, "POST", "/v1/sims/beta/pause", "", http.StatusOK, &st)
+	if st.Running {
+		t.Fatalf("paused sim still running: %+v", st)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	svc := newService(t, "")
+	create(t, svc, "alpha", smallDoc)
+	var st SimStatus
+	callJSON(t, svc, "POST", "/v1/sims/alpha/faults",
+		`{"kind": "crash_burst", "from": 150, "until": 250, "period": 30, "p": 0.5}`, http.StatusOK, &st)
+	if st.Faults != 1 {
+		t.Fatalf("faults %d, want 1", st.Faults)
+	}
+	rec := call(t, svc, "GET", "/v1/sims/alpha/spec", "")
+	if !strings.Contains(rec.Body.String(), `"crash_burst"`) {
+		t.Fatalf("injected fault missing from effective spec:\n%s", rec.Body)
+	}
+	if rec := call(t, svc, "POST", "/v1/sims/alpha/faults", `{"kind": "cell_jammer", "cells": 2}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("jammer injection accepted: %d", rec.Code)
+	}
+	if rec := call(t, svc, "POST", "/v1/sims/alpha/faults", `{"kind": "sharknado"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown fault kind accepted: %d", rec.Code)
+	}
+	if rec := call(t, svc, "POST", "/v1/sims/alpha/faults", `{"kind": "crash_burst", "p": 0.5, "cells": 1}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("field misuse accepted: %d", rec.Code)
+	}
+}
+
+func TestCheckpointEndpoints(t *testing.T) {
+	stateless := newService(t, "")
+	create(t, stateless, "alpha", smallDoc)
+	if rec := call(t, stateless, "POST", "/v1/sims/alpha/checkpoint", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("stateless POST checkpoint: %d", rec.Code)
+	}
+
+	dir := t.TempDir()
+	svc := newService(t, dir)
+	create(t, svc, "alpha", smallDoc)
+	callJSON(t, svc, "POST", "/v1/sims/alpha/step", `{"vrounds": 2}`, http.StatusOK, nil)
+	rec := call(t, svc, "GET", "/v1/sims/alpha/checkpoint", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET checkpoint: %d", rec.Code)
+	}
+	if _, err := checkpoint.Decode(rec.Body.Bytes()); err != nil {
+		t.Fatalf("served checkpoint does not decode: %v", err)
+	}
+	callJSON(t, svc, "POST", "/v1/sims/alpha/checkpoint", "", http.StatusOK, nil)
+	if _, err := checkpoint.ReadFile(svc.ckptPath("alpha")); err != nil {
+		t.Fatalf("persisted checkpoint unreadable: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	svc := newService(t, dir)
+	create(t, svc, "alpha", smallDoc)
+	callJSON(t, svc, "POST", "/v1/sims/alpha/checkpoint", "", http.StatusOK, nil)
+	callJSON(t, svc, "DELETE", "/v1/sims/alpha", "", http.StatusOK, nil)
+	if rec := call(t, svc, "GET", "/v1/sims/alpha", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("status after delete: %d", rec.Code)
+	}
+	if rec := call(t, svc, "POST", "/v1/sims/alpha/step", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("step after delete: %d", rec.Code)
+	}
+	if _, err := os.Stat(svc.specPath("alpha")); !os.IsNotExist(err) {
+		t.Fatalf("spec file survived delete: %v", err)
+	}
+	if _, err := os.Stat(svc.ckptPath("alpha")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint file survived delete: %v", err)
+	}
+}
+
+// TestRestartResumesTenants is the daemon crash-restart contract at the
+// service layer: a fresh Service over the same state directory rebuilds
+// every tenant from its persisted effective spec (including an injected
+// fault) and resumes it from its last checkpoint, and the resumed run is
+// byte-identical to a straight library run of the same effective spec.
+func TestRestartResumesTenants(t *testing.T) {
+	dir := t.TempDir()
+	svc := newService(t, dir)
+	create(t, svc, "alpha", smallDoc)
+	callJSON(t, svc, "POST", "/v1/sims/alpha/step", `{"vrounds": 3}`, http.StatusOK, nil)
+	callJSON(t, svc, "POST", "/v1/sims/alpha/faults",
+		`{"kind": "crash_burst", "from": 300, "until": 350, "period": 30, "p": 0.5}`, http.StatusOK, nil)
+	callJSON(t, svc, "POST", "/v1/sims/alpha/checkpoint", "", http.StatusOK, nil)
+	effective := call(t, svc, "GET", "/v1/sims/alpha/spec", "").Body.Bytes()
+	svc.Close() // the "crash": loops stop, state dir survives
+
+	svc2 := newService(t, dir)
+	var st SimStatus
+	callJSON(t, svc2, "GET", "/v1/sims/alpha", "", http.StatusOK, &st)
+	if st.VRound != 3 || st.Faults != 1 {
+		t.Fatalf("recovered status %+v, want vround 3 with 1 fault", st)
+	}
+	callJSON(t, svc2, "POST", "/v1/sims/alpha/step", `{"vrounds": 5}`, http.StatusOK, &st)
+	if st.VRound != 8 {
+		t.Fatalf("resumed run ended at vround %d, want 8", st.VRound)
+	}
+	got := call(t, svc2, "GET", "/v1/sims/alpha/checkpoint", "").Body.Bytes()
+
+	// Straight library run of the recovered effective spec.
+	sp, err := spec.Parse(effective)
+	if err != nil {
+		t.Fatalf("effective spec: %v", err)
+	}
+	w, err := spec.Build(sp)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer w.Eng.Close()
+	for w.VRound() < w.VRounds() {
+		w.StepVRound()
+	}
+	if !bytes.Equal(got, w.Checkpoint().Encode()) {
+		t.Fatal("restarted HTTP run diverged from the straight library run")
+	}
+}
+
+// TestConcurrentTenants runs two identical tenants from goroutines while
+// scraping metrics and availability — the isolation + race-cleanliness
+// pin. Both tenants must finish byte-identical to each other.
+func TestConcurrentTenants(t *testing.T) {
+	svc := newService(t, "")
+	create(t, svc, "a", smallDoc)
+	create(t, svc, "b", smallDoc)
+
+	done := make(chan error, 2)
+	for _, name := range []string{"a", "b"} {
+		name := name
+		go func() {
+			for i := 0; i < 8; i++ {
+				rec := call(t, svc, "POST", "/v1/sims/"+name+"/step", `{"vrounds": 1}`)
+				if rec.Code != http.StatusOK {
+					done <- fmt.Errorf("%s step: %d %s", name, rec.Code, rec.Body)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 20; i++ {
+			call(t, svc, "GET", "/metrics", "")
+			call(t, svc, "GET", "/v1/sims/a/availability", "")
+			call(t, svc, "GET", "/v1/sims", "")
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-scrapeDone
+
+	ca := call(t, svc, "GET", "/v1/sims/a/checkpoint", "").Body.Bytes()
+	cb := call(t, svc, "GET", "/v1/sims/b/checkpoint", "").Body.Bytes()
+	if len(ca) == 0 || !bytes.Equal(ca, cb) {
+		t.Fatal("concurrent tenants with the same spec diverged")
+	}
+
+	// /metrics exposes per-vnode availability for both tenants.
+	m := call(t, svc, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		"vinfra_sims 2",
+		`vinfra_vnode_availability{sim="a",vnode="0"} 1.0000`,
+		`vinfra_vnode_availability{sim="a",vnode="1"} 1.0000`,
+		`vinfra_vnode_availability{sim="b",vnode="0"} 1.0000`,
+		`vinfra_vnode_availability{sim="b",vnode="1"} 1.0000`,
+		`vinfra_sim_vround{sim="a"} 8`,
+		`vinfra_sim_vround{sim="b"} 8`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	svc := newService(t, "")
+	create(t, svc, "alpha", smallDoc)
+	callJSON(t, svc, "POST", "/v1/sims/alpha/step", `{"vrounds": 2}`, http.StatusOK, nil)
+	m := call(t, svc, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		"# TYPE vinfra_sim_rounds_total counter",
+		"# TYPE vinfra_sim_wire_bytes_total counter",
+		"# TYPE vinfra_sim_partition_seconds_total counter",
+		"# TYPE vinfra_sim_vrounds_per_second gauge",
+		`vinfra_sim_vrounds{sim="alpha"} 8`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+	// Stepped sims accumulate radio rounds and wire bytes.
+	var rounds, bytesTotal float64
+	for _, line := range strings.Split(m, "\n") {
+		if strings.HasPrefix(line, `vinfra_sim_rounds_total{sim="alpha"}`) {
+			fmt.Sscanf(line, `vinfra_sim_rounds_total{sim="alpha"} %g`, &rounds)
+		}
+		if strings.HasPrefix(line, `vinfra_sim_wire_bytes_total{sim="alpha"}`) {
+			fmt.Sscanf(line, `vinfra_sim_wire_bytes_total{sim="alpha"} %g`, &bytesTotal)
+		}
+	}
+	if rounds <= 0 || bytesTotal <= 0 {
+		t.Fatalf("rounds_total %g, wire_bytes_total %g — want both positive", rounds, bytesTotal)
+	}
+}

@@ -1,0 +1,258 @@
+package spec
+
+import (
+	"fmt"
+
+	"vinfra/internal/faults"
+	"vinfra/internal/geo"
+	"vinfra/internal/radio"
+	"vinfra/internal/sim"
+)
+
+// Fault is one spec-constructible adversary. Kind selects the
+// internal/faults implementation; the remaining fields are flat, and a
+// field a kind does not use must be left unset — validate rejects it, the
+// same strictness the JSON decoder applies to unknown field names.
+//
+// Engine kinds (region_wipe, crash_burst, churn_storm, herd) strike through
+// sim.Engine.AddFault and may be injected mid-run; jammer kinds
+// (cell_jammer, region_jammer) ride in the radio medium's configuration and
+// exist only at build time.
+//
+// All rounds (from, until, at, period, burst) are radio rounds.
+type Fault struct {
+	Kind string `json:"kind"`
+	// From and Until bound the fault's active window ([From, Until);
+	// Until 0 means no horizon). region_wipe uses At instead.
+	From  int `json:"from,omitempty"`
+	Until int `json:"until,omitempty"`
+	// At is region_wipe's strike round.
+	At int `json:"at,omitempty"`
+	// X, Y are region_wipe's center, or herd's focus.
+	X float64 `json:"x,omitempty"`
+	Y float64 `json:"y,omitempty"`
+	// Radius is region_wipe's blast radius or region_jammer's footprint
+	// (defaults to r1/4, the replication-region radius).
+	Radius float64 `json:"radius,omitempty"`
+	// Period is the duty-cycle length (crash_burst, churn_storm,
+	// region_jammer); <= 0 means every round.
+	Period int `json:"period,omitempty"`
+	// P is crash_burst's per-node crash probability per burst.
+	P float64 `json:"p,omitempty"`
+	// Kills is churn_storm's victims per front.
+	Kills int `json:"kills,omitempty"`
+	// Frac and Step are herd's cohort fraction and per-round pull.
+	Frac float64 `json:"frac,omitempty"`
+	Step float64 `json:"step,omitempty"`
+	// Cells and CellSize parameterize cell_jammer (CellSize defaults to
+	// r2, the medium's own bucketing).
+	Cells    int     `json:"cells,omitempty"`
+	CellSize float64 `json:"cell_size,omitempty"`
+	// Burst and Rotate parameterize region_jammer's duty cycle.
+	Burst  int `json:"burst,omitempty"`
+	Rotate int `json:"rotate,omitempty"`
+	// Seed drives the fault's hash draws; defaults to the spec seed +
+	// 101*(index+1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Engine fault kinds may be injected mid-run; jammer kinds are fixed in the
+// medium configuration at build time.
+const (
+	KindRegionWipe   = "region_wipe"
+	KindCrashBurst   = "crash_burst"
+	KindChurnStorm   = "churn_storm"
+	KindHerd         = "herd"
+	KindCellJammer   = "cell_jammer"
+	KindRegionJammer = "region_jammer"
+)
+
+// IsJammer reports whether the fault kind is a radio-layer jammer (build
+// time only) rather than an engine-level fault.
+func (f *Fault) IsJammer() bool {
+	return f.Kind == KindCellJammer || f.Kind == KindRegionJammer
+}
+
+// applyDefaults fills the fault's defaulted fields from the parent spec;
+// i is the fault's index in the spec's fault list.
+func (f *Fault) applyDefaults(s *Spec, i int) {
+	if f.Seed == 0 {
+		f.Seed = s.Seed + 101*int64(i+1)
+	}
+	switch f.Kind {
+	case KindRegionJammer:
+		if f.Radius == 0 {
+			f.Radius = s.Radii.R1 / 4
+		}
+	case KindCellJammer:
+		if f.CellSize == 0 {
+			f.CellSize = s.Radii.R2
+		}
+	}
+}
+
+// fieldUse names a flat Fault field and whether it is set; validate checks
+// the set fields against the kind's allowed list.
+type fieldUse struct {
+	name string
+	set  bool
+}
+
+// allowedFields maps each kind to the flat fields it reads (beyond kind,
+// from, until and seed, which every kind may set).
+var allowedFields = map[string][]string{
+	KindRegionWipe:   {"at", "x", "y", "radius"},
+	KindCrashBurst:   {"period", "p"},
+	KindChurnStorm:   {"period", "kills"},
+	KindHerd:         {"x", "y", "frac", "step"},
+	KindCellJammer:   {"cells", "cell_size"},
+	KindRegionJammer: {"radius", "period", "burst", "rotate"},
+}
+
+func (f *Fault) validate() error {
+	allowed, ok := allowedFields[f.Kind]
+	if !ok {
+		return fmt.Errorf("unknown kind %q", f.Kind)
+	}
+	uses := []fieldUse{
+		{"at", f.At != 0},
+		{"x", f.X != 0},
+		{"y", f.Y != 0},
+		{"radius", f.Radius != 0},
+		{"period", f.Period != 0},
+		{"p", f.P != 0},
+		{"kills", f.Kills != 0},
+		{"frac", f.Frac != 0},
+		{"step", f.Step != 0},
+		{"cells", f.Cells != 0},
+		{"cell_size", f.CellSize != 0},
+		{"burst", f.Burst != 0},
+		{"rotate", f.Rotate != 0},
+	}
+	for _, u := range uses {
+		if !u.set {
+			continue
+		}
+		ok := false
+		for _, a := range allowed {
+			if a == u.name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s does not apply to kind %q", u.name, f.Kind)
+		}
+	}
+	if f.From < 0 || f.Until < 0 || f.Until != 0 && f.Until <= f.From {
+		return fmt.Errorf("window needs 0 <= from < until (got from=%d until=%d)", f.From, f.Until)
+	}
+	switch f.Kind {
+	case KindRegionWipe:
+		if f.Radius <= 0 {
+			return fmt.Errorf("region_wipe needs a positive radius")
+		}
+	case KindCrashBurst:
+		if f.P <= 0 || f.P > 1 {
+			return fmt.Errorf("crash_burst needs p in (0, 1] (got %g)", f.P)
+		}
+	case KindChurnStorm:
+		if f.Kills < 1 {
+			return fmt.Errorf("churn_storm needs kills >= 1 (got %d)", f.Kills)
+		}
+	case KindHerd:
+		if f.Frac <= 0 || f.Frac > 1 {
+			return fmt.Errorf("herd needs frac in (0, 1] (got %g)", f.Frac)
+		}
+		if f.Step <= 0 {
+			return fmt.Errorf("herd needs a positive step")
+		}
+	case KindCellJammer:
+		if f.Cells < 1 {
+			return fmt.Errorf("cell_jammer needs cells >= 1 (got %d)", f.Cells)
+		}
+		if f.CellSize <= 0 {
+			return fmt.Errorf("cell_jammer needs a positive cell_size")
+		}
+	case KindRegionJammer:
+		if f.Radius <= 0 {
+			return fmt.Errorf("region_jammer needs a positive radius")
+		}
+		if f.Burst < 0 || f.Rotate < 0 {
+			return fmt.Errorf("region_jammer burst and rotate must not be negative")
+		}
+	}
+	return nil
+}
+
+// window converts the spec window to the faults package's.
+func (f *Fault) window() faults.Window {
+	return faults.Window{From: sim.Round(f.From), Until: sim.Round(f.Until)}
+}
+
+// engineFault constructs the sim.Fault for an engine kind. The fault must
+// be validated first; jammer kinds return an error.
+func (f *Fault) engineFault() (sim.Fault, error) {
+	switch f.Kind {
+	case KindRegionWipe:
+		return faults.RegionWipe{
+			Center: geo.Point{X: f.X, Y: f.Y},
+			Radius: f.Radius,
+			At:     sim.Round(f.At),
+		}, nil
+	case KindCrashBurst:
+		return &faults.CrashBurst{
+			Window: f.window(),
+			Period: f.Period,
+			P:      f.P,
+			Seed:   f.Seed,
+		}, nil
+	case KindChurnStorm:
+		// Spec-built storms are pure attrition: Respawn closures are code,
+		// which a serializable spec cannot carry.
+		return &faults.ChurnStorm{
+			Window: f.window(),
+			Period: f.Period,
+			Kills:  f.Kills,
+			Seed:   f.Seed,
+		}, nil
+	case KindHerd:
+		return &faults.Herd{
+			Window: f.window(),
+			Focus:  geo.Point{X: f.X, Y: f.Y},
+			Frac:   f.Frac,
+			Step:   f.Step,
+			Seed:   f.Seed,
+		}, nil
+	default:
+		return nil, fmt.Errorf("spec: %q is not an engine fault kind", f.Kind)
+	}
+}
+
+// jammer constructs the radio adversary for a jammer kind: cell_jammer
+// roams the padded field bounds, region_jammer parks on the virtual node
+// locations (the E13 configuration).
+func (f *Fault) jammer(bounds geo.Rect, locs []geo.Point) radio.Adversary {
+	switch f.Kind {
+	case KindCellJammer:
+		return &faults.CellJammer{
+			Window:   f.window(),
+			Bounds:   bounds,
+			CellSize: f.CellSize,
+			Cells:    f.Cells,
+			Seed:     f.Seed,
+		}
+	case KindRegionJammer:
+		return &faults.RegionJammer{
+			Window:  f.window(),
+			Targets: locs,
+			Radius:  f.Radius,
+			Period:  f.Period,
+			Burst:   f.Burst,
+			Rotate:  f.Rotate,
+			Seed:    f.Seed,
+		}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,135 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func minimal() string {
+	return `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}}`
+}
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse([]byte(minimal()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Seed != 1 || s.VRounds != 60 || s.Grid.Spacing != 6 {
+		t.Fatalf("core defaults not applied: %+v", s)
+	}
+	if s.Radii.R1 != 10 || s.Radii.R2 != 20 {
+		t.Fatalf("radii defaults not applied: %+v", s.Radii)
+	}
+	if s.App != "counter" || s.Leader != "fixed" {
+		t.Fatalf("app/leader defaults not applied: app=%q leader=%q", s.App, s.Leader)
+	}
+	if s.Devices.Replicas != 3 || s.Devices.VMax != 0.02 {
+		t.Fatalf("device defaults not applied: %+v", s.Devices)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "gird": 3}`))
+	if err == nil || !strings.Contains(err.Error(), "gird") {
+		t.Fatalf("want unknown-field error naming gird, got %v", err)
+	}
+	_, err = Parse([]byte(`{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1, "spacng": 6}}`))
+	if err == nil {
+		t.Fatal("nested unknown field accepted")
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	_, err := Parse([]byte(minimal() + `{"version": "vinfra-spec/v1"}`))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-data error, got %v", err)
+	}
+}
+
+func TestParseRejectsWrongVersion(t *testing.T) {
+	_, err := Parse([]byte(`{"version": "vinfra-spec/v2", "grid": {"cols": 2, "rows": 1}}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+	if _, err = Parse([]byte(`{"grid": {"cols": 2, "rows": 1}}`)); err == nil {
+		t.Fatal("missing version accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"no grid", `{"version": "vinfra-spec/v1"}`, "grid"},
+		{"bad radii", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "radii": {"r1": 30, "r2": 20}}`, "radii"},
+		{"bad app", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "app": "chess"}`, "app"},
+		{"bad leader", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "leader": "anarchy"}`, "leader"},
+		{"targets without tracker", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "devices": {"targets": 1}}`, "tracker"},
+		{"negative shards", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "engine": {"shards": -1}}`, "shards"},
+		{"too many devices", `{"version": "vinfra-spec/v1", "grid": {"cols": 700, "rows": 700}}`, "limit"},
+		{"unknown fault kind", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "faults": [{"kind": "sharknado"}]}`, "kind"},
+		{"fault field misuse", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "faults": [{"kind": "crash_burst", "p": 0.5, "cells": 3}]}`, "cells"},
+		{"bad fault window", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "faults": [{"kind": "crash_burst", "p": 0.5, "from": 9, "until": 4}]}`, "window"},
+		{"wipe without radius", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "faults": [{"kind": "region_wipe", "at": 10}]}`, "radius"},
+		{"burst without p", `{"version": "vinfra-spec/v1", "grid": {"cols": 2, "rows": 1}, "faults": [{"kind": "crash_burst"}]}`, "p in"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFaultSeedDefaultsAreIndexStable(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"version": "vinfra-spec/v1", "seed": 7,
+		"grid": {"cols": 2, "rows": 1},
+		"faults": [
+			{"kind": "crash_burst", "p": 0.5, "period": 40},
+			{"kind": "churn_storm", "kills": 1, "period": 50}
+		]}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Faults[0].Seed != 7+101 || s.Faults[1].Seed != 7+202 {
+		t.Fatalf("fault seeds %d, %d; want %d, %d", s.Faults[0].Seed, s.Faults[1].Seed, 7+101, 7+202)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, err := Parse([]byte(minimal()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := s.JSON()
+	s2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-Parse of JSON(): %v\n%s", err, out)
+	}
+	if string(s2.JSON()) != string(out) {
+		t.Fatalf("JSON not a fixed point:\n%s\nvs\n%s", out, s2.JSON())
+	}
+}
+
+func TestTotalDevices(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"version": "vinfra-spec/v1",
+		"grid": {"cols": 2, "rows": 2},
+		"app": "tracker",
+		"devices": {"replicas": 3, "pingers": true, "listeners": 5, "targets": 2}}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// 4 vnodes * 3 replicas + 4 pingers + 5 listeners + 2 targets + observer.
+	if got := s.TotalDevices(); got != 12+4+5+3 {
+		t.Fatalf("TotalDevices = %d, want %d", got, 12+4+5+3)
+	}
+}

@@ -88,9 +88,10 @@ func analyzersFor(importPath string) []*analysis.Analyzer {
 	if deterministic {
 		list = append(list, analyzers.GlobalRand, analyzers.SeedFlow)
 		// internal/harness owns the timing plane (wall-clock sampling of
-		// cells is its job); every other deterministic package must not
-		// read the clock.
-		if importPath != "vinfra/internal/harness" {
+		// cells is its job) and internal/service is wall-clock service
+		// code (stepping rates, graceful shutdown); every other
+		// deterministic package must not read the clock.
+		if importPath != "vinfra/internal/harness" && importPath != "vinfra/internal/service" {
 			list = append(list, analyzers.WallTime)
 		}
 	}

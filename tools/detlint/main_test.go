@@ -137,8 +137,15 @@ func TestPolicy(t *testing.T) {
 		{"vinfra/internal/shard", "maporder,wirecomplete,globalrand,seedflow,walltime"},
 		{"vinfra/internal/experiments", "maporder,wirecomplete,globalrand,seedflow,walltime"},
 		{"vinfra/internal/harness", "maporder,wirecomplete,globalrand,seedflow"},
+		// The deployment-spec package is pure configuration and joins the
+		// full deterministic policy; the HTTP service is wall-clock service
+		// code (stepping rates, shutdown timeouts) but still must not leak
+		// map order or unseeded randomness into responses.
+		{"vinfra/internal/spec", "maporder,wirecomplete,globalrand,seedflow,walltime"},
+		{"vinfra/internal/service", "maporder,wirecomplete,globalrand,seedflow"},
 		{"vinfra", "maporder,wirecomplete,globalrand,seedflow,walltime"},
 		{"vinfra/cmd/chabench", "maporder,wirecomplete"},
+		{"vinfra/cmd/visimd", "maporder,wirecomplete"},
 		{"vinfra/examples/routing", "maporder,wirecomplete"},
 		{"vinfra/internal/sim.test", ""},
 		{"fmt", ""},
@@ -148,5 +155,108 @@ func TestPolicy(t *testing.T) {
 		if got := names(c.importPath); got != c.want {
 			t.Errorf("analyzersFor(%q) = %q, want %q", c.importPath, got, c.want)
 		}
+	}
+}
+
+// TestServicePolicyFixtures drives the driver over a scratch vinfra module
+// shaped like the visimd stack — one positive and one negative fixture per
+// policy row added for the service:
+//
+//   - internal/service may read the wall clock (stepping rates are its
+//     job) but must still emit map contents in sorted order;
+//   - internal/spec is pure configuration and gets the full deterministic
+//     policy, wall clock included;
+//   - cmd/visimd is command code: map order still matters, the clock is
+//     free.
+func TestServicePolicyFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a scratch module with the go command")
+	}
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vinfra\n\ngo 1.22\n")
+	write("internal/service/svc.go", `package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate reads the wall clock: allowed in the service package.
+func Rate(stepped int, since time.Time) float64 {
+	return float64(stepped) / time.Since(since).Seconds()
+}
+
+// Dump leaks map iteration order into output: still a finding here.
+func Dump(sims map[string]int) {
+	for name, vr := range sims {
+		fmt.Printf("%s=%d\n", name, vr)
+	}
+}
+`)
+	write("internal/spec/spec.go", `package spec
+
+import "time"
+
+// Stamp reads the wall clock inside the spec package: a finding.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("cmd/visimd/main.go", `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now()) // command code: the clock is free
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // ... but map order still is not
+	}
+}
+`)
+
+	pkgs, err := load.Packages(mod, "./...")
+	if err != nil {
+		t.Fatalf("loading scratch module: %v", err)
+	}
+	found := map[string][]string{}
+	for _, pkg := range pkgs {
+		for _, f := range runPackage(pkg, pkg.Fset) {
+			found[pkg.ImportPath] = append(found[pkg.ImportPath], f.analyzer)
+		}
+	}
+	has := func(path, analyzer string) bool {
+		for _, a := range found[path] {
+			if a == analyzer {
+				return true
+			}
+		}
+		return false
+	}
+	if has("vinfra/internal/service", "walltime") {
+		t.Errorf("walltime fired in internal/service (it is exempt): %v", found["vinfra/internal/service"])
+	}
+	if !has("vinfra/internal/service", "maporder") {
+		t.Errorf("maporder did not fire in internal/service: %v", found["vinfra/internal/service"])
+	}
+	if !has("vinfra/internal/spec", "walltime") {
+		t.Errorf("walltime did not fire in internal/spec: %v", found["vinfra/internal/spec"])
+	}
+	if has("vinfra/cmd/visimd", "walltime") {
+		t.Errorf("walltime fired in cmd/visimd: %v", found["vinfra/cmd/visimd"])
+	}
+	if !has("vinfra/cmd/visimd", "maporder") {
+		t.Errorf("maporder did not fire in cmd/visimd: %v", found["vinfra/cmd/visimd"])
 	}
 }
